@@ -1,0 +1,101 @@
+// Shared benchmark plumbing.
+//
+// Every bench binary reproduces one figure of the paper. Because all timing is
+// virtual (the simulator's deterministic clock), a "benchmark" runs a scenario to
+// completion and reads off virtual CPU/real time; google-benchmark is used as the
+// harness (manual time = virtual real seconds) and each binary additionally prints
+// a paper-style table, normalised the way the figure is, with the paper's reported
+// shape alongside for comparison. EXPERIMENTS.md records these numbers.
+
+#ifndef PMIG_BENCH_BENCH_UTIL_H_
+#define PMIG_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/testbed.h"
+
+namespace pmig::bench {
+
+using testbed::kUserUid;
+using testbed::Testbed;
+using testbed::TestbedOptions;
+
+// One measured operation, in virtual time.
+struct Measurement {
+  double cpu_ms = 0;
+  double real_ms = 0;
+};
+
+struct Row {
+  std::string name;
+  Measurement m;
+  std::string paper_note;  // what the paper reports for this row
+};
+
+// Prints a figure table normalised against rows[baseline].
+inline void PrintFigure(const std::string& title, const std::vector<Row>& rows,
+                        size_t baseline) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-34s %12s %12s %10s %10s   %s\n", "case", "cpu (ms)", "real (ms)",
+              "cpu (norm)", "real(norm)", "paper");
+  const double cpu_base = rows[baseline].m.cpu_ms;
+  const double real_base = rows[baseline].m.real_ms;
+  for (const Row& row : rows) {
+    std::printf("%-34s %12.2f %12.2f %10.2f %10.2f   %s\n", row.name.c_str(), row.m.cpu_ms,
+                row.m.real_ms, cpu_base > 0 ? row.m.cpu_ms / cpu_base : 0.0,
+                real_base > 0 ? row.m.real_ms / real_base : 0.0, row.paper_note.c_str());
+  }
+}
+
+// Registers a scenario with google-benchmark: manual time is virtual real time,
+// virtual CPU is exported as a counter.
+inline void RegisterSim(const std::string& name, std::function<Measurement()> run) {
+  benchmark::RegisterBenchmark(name.c_str(), [run](benchmark::State& state) {
+    Measurement m;
+    for (auto _ : state) {
+      m = run();
+      state.SetIterationTime(m.real_ms / 1000.0);
+    }
+    state.counters["vcpu_ms"] = m.cpu_ms;
+    state.counters["vreal_ms"] = m.real_ms;
+  })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+inline int RunBenchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+// The paper's counter test program with 1987-realistic segment sizes (a compiled
+// C program's library text and data). Installed as /bin/bigcounter on every host.
+inline void InstallPaddedCounter(Testbed& world) {
+  const std::string padded =
+      core::WithPadding(core::CounterProgramSource(), /*extra_text_instructions=*/1400,
+                        /*extra_data_bytes=*/5600);
+  for (const auto& host : world.cluster().hosts()) {
+    core::InstallProgram(*host, "/bin/bigcounter", padded);
+  }
+}
+
+// Starts /bin/bigcounter on `host_name`, feeds it one line, and leaves it blocked
+// at its second input prompt (the paper kills the program "after its first prompt
+// for input"; one fed line makes all three counters nonzero first). Returns pid.
+inline int32_t StartBlockedCounter(Testbed& world, const std::string& host_name) {
+  const int32_t pid = world.StartVm(host_name, "/bin/bigcounter");
+  world.RunUntilBlocked(host_name, pid);
+  world.console(host_name)->Type("x\n");
+  world.RunUntilBlocked(host_name, pid);
+  return pid;
+}
+
+}  // namespace pmig::bench
+
+#endif  // PMIG_BENCH_BENCH_UTIL_H_

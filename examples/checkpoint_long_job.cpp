@@ -1,0 +1,101 @@
+// Checkpointing a long-running job (Section 8, first application).
+//
+// A batch job runs on brick while checkpointd snapshots it every 10 virtual
+// seconds into /ckpt. Halfway through, the machine "crashes" (we SIGKILL the
+// job); the job is then restored from its latest checkpoint — including the
+// contents of its open files — and runs to completion.
+//
+// Build & run:  ./build/examples/checkpoint_long_job
+
+#include <cstdio>
+
+#include "src/apps/checkpoint.h"
+#include "src/cluster/testbed.h"
+
+using namespace pmig;
+using testbed::Testbed;
+
+int main() {
+  Testbed world;
+  world.host("brick").vfs().SetupMkdirAll("/ckpt");
+
+  std::printf("== Checkpointing a long-running job ==\n\n");
+
+  // The job: a counter fed by a scripted "user" every few seconds.
+  const int32_t pid = world.StartVm("brick", "/bin/counter");
+  world.RunUntilBlocked("brick", pid);
+
+  // checkpointd: snapshot every 10 s, up to 3 snapshots. It carries the job's
+  // terminal so each restart can reattach the job to it.
+  kernel::SpawnOptions opts;  // root
+  opts.tty = world.console("brick");
+  auto taken = std::make_shared<int>(0);
+  world.host("brick").SpawnNative(
+      "checkpointd",
+      [pid, taken](kernel::SyscallApi& api) {
+        apps::CheckpointdOptions options;
+        options.pid = pid;
+        options.dir = "/ckpt";
+        options.interval = sim::Seconds(10);
+        options.count = 3;
+        *taken = apps::CheckpointDaemon(api, options);
+        return 0;
+      },
+      opts);
+
+  // The user types a line every ~7 virtual seconds while snapshots happen.
+  for (int i = 1; i <= 4; ++i) {
+    world.cluster().RunFor(sim::Seconds(7));
+    const int32_t current = [&] {
+      for (kernel::Proc* p : world.host("brick").ListProcs()) {
+        if (p->kind == kernel::ProcKind::kVm && p->Alive()) return p->pid;
+      }
+      return -1;
+    }();
+    if (current < 0) continue;
+    world.RunUntilBlocked("brick", current);
+    world.console("brick")->Type("entry " + std::to_string(i) + "\n");
+    world.RunUntilBlocked("brick", current);
+  }
+  world.cluster().RunUntilIdle(sim::Seconds(120));
+  std::printf("checkpointd took %d snapshot(s); output so far:\n  %s\n", *taken,
+              world.FileContents("brick", "/u/user/counter.out").c_str());
+
+  // Crash: kill whatever incarnation of the job is running.
+  for (kernel::Proc* p : world.host("brick").ListProcs()) {
+    if (p->kind == kernel::ProcKind::kVm && p->Alive()) {
+      std::printf("simulating a crash: SIGKILL pid %d\n", p->pid);
+      const Status st = world.host("brick").PostSignal(p->pid, vm::abi::kSigKill, nullptr);
+      (void)st;
+    }
+  }
+  world.cluster().RunUntilIdle(sim::Seconds(60));
+
+  // Restore from the last checkpoint.
+  const int last = *taken - 1;
+  std::printf("restoring checkpoint %d...\n", last);
+  auto restored = std::make_shared<int32_t>(-1);
+  const int32_t restorer = world.host("brick").SpawnNative(
+      "restore",
+      [last, restored](kernel::SyscallApi& api) {
+        const Result<int32_t> r = apps::RestoreCheckpoint(api, "/ckpt", last);
+        if (r.ok()) *restored = *r;
+        return r.ok() ? 0 : 1;
+      },
+      opts);
+  world.RunUntilExited("brick", restorer, sim::Seconds(300));
+  if (*restored < 0) {
+    std::printf("restore failed\n");
+    return 1;
+  }
+  std::printf("restored as pid %d; output file rolled back to the checkpoint:\n  %s\n",
+              *restored, world.FileContents("brick", "/u/user/counter.out").c_str());
+
+  // The job continues from the checkpointed state.
+  world.RunUntilBlocked("brick", *restored);
+  world.console("brick")->Type("post-crash entry\n");
+  world.RunUntilBlocked("brick", *restored);
+  std::printf("after resuming:\n  %s\n",
+              world.FileContents("brick", "/u/user/counter.out").c_str());
+  return 0;
+}

@@ -1,0 +1,110 @@
+// A scripted interactive session: two users at two workstations, driving the
+// whole system through msh shells — exactly the workflow Section 4.2 narrates,
+// with ps thrown in to watch the process move.
+//
+// Build & run:  ./build/examples/interactive_session
+
+#include <cstdio>
+
+#include "src/cluster/testbed.h"
+
+using namespace pmig;
+using testbed::kUserUid;
+using testbed::Testbed;
+
+namespace {
+
+size_t PromptCount(Testbed& world, std::string_view host) {
+  const std::string out = world.console(host)->PlainOutput();
+  size_t n = 0;
+  for (size_t at = out.find("$ "); at != std::string::npos; at = out.find("$ ", at + 2)) ++n;
+  return n;
+}
+
+// Types a shell command and waits for the next prompt.
+void Sh(Testbed& world, std::string_view host, const std::string& line) {
+  const size_t before = PromptCount(world, host);
+  world.console(host)->Type(line + "\n");
+  world.cluster().RunUntil(
+      [&world, host, before] { return PromptCount(world, host) > before; },
+      sim::Seconds(300));
+}
+
+void ShowConsole(Testbed& world, std::string_view host) {
+  std::printf("---- %.*s console ----\n%s\n", static_cast<int>(host.size()), host.data(),
+              world.console(host)->PlainOutput().c_str());
+  world.console(host)->ClearOutput();
+}
+
+}  // namespace
+
+int main() {
+  Testbed world;
+  const int32_t sh_brick = world.StartTool("brick", "sh", {}, kUserUid,
+                                           world.console("brick"));
+  world.RunUntilBlocked("brick", sh_brick);
+
+  // The user on brick runs the counter in the FOREGROUND: the shell hands it the
+  // terminal and waits, so typed lines go to the program.
+  Sh(world, "brick", "cd /u/user");
+  world.console("brick")->Type("counter\n");
+  world.cluster().RunUntil(
+      [&] { return world.FindPidByCommand("brick", "counter") > 0; });
+  const int32_t counter = world.FindPidByCommand("brick", "counter");
+  world.RunUntilBlocked("brick", counter);
+  world.console("brick")->Type("first line\n");
+  world.RunUntilBlocked("brick", counter);
+  ShowConsole(world, "brick");
+
+  // "we must determine its process id, which can easily be done using ps" — and
+  // since the console belongs to the counter, this happens on ANOTHER terminal
+  // (Section 4.2: "go to another terminal to type the dumpproc command").
+  const int32_t sh_side = world.StartTool("brick", "sh", {}, kUserUid,
+                                          world.tty("brick", "ttyp0"));
+  world.RunUntilBlocked("brick", sh_side);
+  const size_t before = [&] {
+    const std::string out = world.tty("brick", "ttyp0")->PlainOutput();
+    size_t n = 0;
+    for (size_t at = out.find("$ "); at != std::string::npos; at = out.find("$ ", at + 2))
+      ++n;
+    return n;
+  }();
+  world.tty("brick", "ttyp0")->Type("ps\n");
+  world.tty("brick", "ttyp0")->Type("dumpproc -p " + std::to_string(counter) + "\n");
+  world.cluster().RunUntil([&] {
+    const std::string out = world.tty("brick", "ttyp0")->PlainOutput();
+    size_t n = 0;
+    for (size_t at = out.find("$ "); at != std::string::npos; at = out.find("$ ", at + 2))
+      ++n;
+    return n >= before + 2;
+  }, sim::Seconds(300));
+  world.RunUntilExited("brick", counter);
+  std::printf(">>> on brick's second window:\n---- brick ttyp0 ----\n%s\n",
+              world.tty("brick", "ttyp0")->PlainOutput().c_str());
+
+  // The user walks over to schooner and restarts it there, in the foreground.
+  const int32_t sh_schooner = world.StartTool("schooner", "sh", {}, kUserUid,
+                                              world.console("schooner"));
+  world.RunUntilBlocked("schooner", sh_schooner);
+  std::printf(">>> user on schooner: restart -p %d -h brick\n\n", counter);
+  world.console("schooner")->Type("restart -p " + std::to_string(counter) + " -h brick\n");
+  world.cluster().RunUntil(
+      [&] { return world.FindPidByCommand("schooner", "migrated") > 0; },
+      sim::Seconds(300));
+  const int32_t moved = world.FindPidByCommand("schooner", "migrated");
+  world.RunUntilBlocked("schooner", moved);
+
+  // Now the restored program owns schooner's terminal (the shell is waiting on
+  // its foreground job); talk to it.
+  world.console("schooner")->Type("typed on schooner\n");
+  world.cluster().RunUntil([&] {
+    return world.console("schooner")->PlainOutput().find("r=2 s=2 k=2") !=
+           std::string::npos;
+  });
+  ShowConsole(world, "schooner");
+
+  std::printf("counter.out (on brick, via NFS): %s",
+              world.FileContents("brick", "/u/user/counter.out").c_str());
+  std::printf("\nsession complete: the process moved hosts mid-conversation.\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// pmigsim — an interactive driver for the simulated cluster.
+//
+// Boots machines with shells on their consoles and bridges YOUR terminal to
+// theirs: every line you type goes to the current machine's console; simulator
+// output comes back. Directives starting with '@' control the simulation itself.
+//
+//   $ ./build/examples/pmigsim                  # brick + schooner
+//   pmig(brick:console)> counter                 # run it in the foreground
+//   pmig(brick:console)> hello                   # talk to it
+//   pmig(brick:console)> @tty ttyp0              # "go to another terminal"
+//   pmig(brick:ttyp0)> ps
+//   pmig(brick:ttyp0)> dumpproc -p 103
+//   pmig(brick:ttyp0)> @host schooner
+//   pmig(schooner:ttyp0)> restart -p 103 -h brick
+//   pmig(schooner:ttyp0)> carries on             # same process, new machine
+//   pmig(schooner:ttyp0)> @quit
+//
+// Directives: @host <name>   switch machine
+//             @tty <name>    switch window on this machine (console / ttyp0 — the
+//                            paper's "go to another terminal" workflow)
+//             @hosts         list machines and their processes
+//             @run <secs>    advance virtual time without typing anything
+//             @down <name> / @up <name>   power machines off/on
+//             @type <text>   send text without a newline (for raw-mode programs)
+//             @quit
+//
+// Also scriptable: pipe a command file into stdin.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/cluster/testbed.h"
+
+using namespace pmig;
+using testbed::kUserUid;
+using testbed::Testbed;
+using testbed::TestbedOptions;
+
+namespace {
+
+struct Session {
+  Testbed world;
+  std::string current = "brick";
+  std::string tty_name = "console";
+  std::map<std::string, size_t> printed;  // per host:tty, bytes already shown
+
+  explicit Session(TestbedOptions options) : world(std::move(options)) {
+    // A login shell on every terminal of every machine.
+    for (const auto& host : world.cluster().hosts()) {
+      for (const char* tty : {"console", "ttyp0"}) {
+        const int32_t sh = world.StartTool(host->hostname(), "sh", {}, kUserUid,
+                                           world.tty(host->hostname(), tty));
+        world.RunUntilBlocked(host->hostname(), sh);
+      }
+    }
+  }
+
+  kernel::Tty* CurrentTty() { return world.tty(current, tty_name); }
+
+  // Prints output of the current window that appeared since the last flush.
+  void Flush() {
+    const std::string out = CurrentTty()->PlainOutput();
+    size_t& seen = printed[current + ":" + tty_name];
+    if (out.size() > seen) {
+      std::fwrite(out.data() + seen, 1, out.size() - seen, stdout);
+      seen = out.size();
+      std::fflush(stdout);
+    }
+  }
+
+  void RunAndFlush(sim::Nanos duration) {
+    world.cluster().RunFor(duration);
+    Flush();
+  }
+
+  void ListHosts() {
+    for (const auto& host : world.cluster().hosts()) {
+      std::printf("%s%s%s\n", host->hostname().c_str(), host->down() ? " (down)" : "",
+                  host->hostname() == current ? "  <- current" : "");
+      for (kernel::Proc* p : host->ListProcs()) {
+        std::printf("    %5d %-4s %s\n", p->pid,
+                    p->kind == kernel::ProcKind::kVm ? "vm" : "sys", p->command.c_str());
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TestbedOptions options;
+  options.num_hosts = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--daemons") options.daemons = true;
+    if (arg == "--hosts" && i + 1 < argc) options.num_hosts = std::atoi(argv[++i]);
+  }
+  Session session(std::move(options));
+  session.Flush();
+
+  std::string line;
+  for (;;) {
+    std::printf("pmig(%s:%s)> ", session.current.c_str(), session.tty_name.c_str());
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+
+    if (line.rfind("@quit", 0) == 0) break;
+    if (line.rfind("@hosts", 0) == 0) {
+      session.ListHosts();
+      continue;
+    }
+    if (line.rfind("@host ", 0) == 0) {
+      const std::string name = line.substr(6);
+      if (session.world.cluster().network().FindHost(name) != nullptr) {
+        session.current = name;
+        session.Flush();
+      } else {
+        std::printf("no such machine: %s\n", name.c_str());
+      }
+      continue;
+    }
+    if (line.rfind("@tty ", 0) == 0) {
+      const std::string name = line.substr(5);
+      if (session.world.tty(session.current, name) != nullptr) {
+        session.tty_name = name;
+        session.Flush();
+      } else {
+        std::printf("no such terminal: %s (try console or ttyp0)\n", name.c_str());
+      }
+      continue;
+    }
+    if (line.rfind("@run ", 0) == 0) {
+      session.RunAndFlush(sim::Seconds(std::atoi(line.c_str() + 5)));
+      continue;
+    }
+    if (line.rfind("@down ", 0) == 0) {
+      session.world.cluster().SetHostDown(line.substr(6), true);
+      std::printf("%s is down\n", line.substr(6).c_str());
+      continue;
+    }
+    if (line.rfind("@up ", 0) == 0) {
+      session.world.cluster().SetHostDown(line.substr(4), false);
+      std::printf("%s is back\n", line.substr(4).c_str());
+      continue;
+    }
+    if (line.rfind("@type ", 0) == 0) {
+      session.CurrentTty()->Type(line.substr(6));
+      session.RunAndFlush(sim::Seconds(2));
+      continue;
+    }
+    if (!line.empty() && line[0] == '@') {
+      std::printf("directives: @host @tty @hosts @run @down @up @type @quit\n");
+      continue;
+    }
+
+    session.CurrentTty()->Type(line + "\n");
+    // Give the machine a generous slice; long commands (rsh migrations!) need it.
+    session.RunAndFlush(sim::Seconds(45));
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

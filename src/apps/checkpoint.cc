@@ -1,0 +1,153 @@
+#include "src/apps/checkpoint.h"
+
+#include "src/core/dump_format.h"
+#include "src/core/tools.h"
+#include "src/sim/bytes.h"
+#include "src/vm/abi.h"
+
+namespace pmig::apps {
+
+namespace {
+
+using core::DumpPaths;
+using core::FilesEntry;
+using core::FilesFile;
+using vm::abi::OpenFlags;
+
+constexpr uint32_t kMetaMagic = 0777;
+
+Result<std::string> ReadWholeFile(kernel::SyscallApi& api, const std::string& path) {
+  PMIG_TRY(int fd, api.Open(path, OpenFlags::kORdOnly));
+  const Result<std::string> bytes = api.ReadAll(fd);
+  const Status closed = api.Close(fd);
+  (void)closed;
+  if (!bytes.ok()) return bytes.error();
+  return *bytes;
+}
+
+Status WriteWholeFile(kernel::SyscallApi& api, const std::string& path,
+                      const std::string& contents, uint16_t mode = 0600) {
+  PMIG_TRY(int fd, api.Creat(path, mode));
+  const Result<int64_t> n = api.Write(fd, contents);
+  const Status closed = api.Close(fd);
+  (void)closed;
+  if (!n.ok()) return n.error();
+  return Status::Ok();
+}
+
+Status CopyFile(kernel::SyscallApi& api, const std::string& src, const std::string& dst,
+                uint16_t mode = 0600) {
+  PMIG_TRY(std::string bytes, ReadWholeFile(api, src));
+  return WriteWholeFile(api, dst, bytes, mode);
+}
+
+std::string CkptName(const std::string& dir, int index, const std::string& what) {
+  return dir + "/" + std::to_string(index) + "." + what;
+}
+
+// Restarts the locally staged dump for `pid` and reports the restarted process's
+// new pid (restart is overlaid by the program it restores).
+Result<int32_t> RestartStagedDump(kernel::SyscallApi& api, int32_t pid) {
+  PMIG_TRY(int32_t child,
+           api.SpawnProgram("restart", {"-p", std::to_string(pid)}));
+  PMIG_TRY(kernel::WaitResult wr, api.Wait());
+  if (!wr.overlaid) return Errno::kNoExec;  // restart failed and exited
+  (void)child;
+  return wr.pid;
+}
+
+}  // namespace
+
+Result<CheckpointResult> TakeCheckpoint(kernel::SyscallApi& api, int32_t pid,
+                                        const std::string& dir, int index) {
+  if (core::Dumpproc(api, pid) != 0) return Errno::kSrch;
+  const DumpPaths paths = DumpPaths::For(pid);
+
+  PMIG_TRY(std::string files_bytes, ReadWholeFile(api, paths.files));
+  PMIG_TRY(FilesFile files, FilesFile::Parse(files_bytes));
+
+  // Copy every open regular file so the checkpoint sees consistent file state
+  // even if the live files change afterwards.
+  std::array<bool, kernel::kNoFile> saved{};
+  for (int i = 0; i < kernel::kNoFile; ++i) {
+    const FilesEntry& entry = files.entries[static_cast<size_t>(i)];
+    if (entry.kind != FilesEntry::Kind::kFile) continue;
+    const Result<kernel::StatInfo> info = api.Stat(entry.path);
+    if (!info.ok() || info->type != vfs::InodeType::kRegular) continue;
+    if (CopyFile(api, entry.path, CkptName(dir, index, "open" + std::to_string(i))).ok()) {
+      saved[static_cast<size_t>(i)] = true;
+    }
+  }
+
+  // Move the three dump files into the managed directory (as copies, since the
+  // staged originals are still needed to restart the process right away).
+  PMIG_RETURN_IF_ERROR(WriteWholeFile(api, CkptName(dir, index, "files"), files_bytes));
+  PMIG_TRY(std::string aout_bytes, ReadWholeFile(api, paths.aout));
+  PMIG_RETURN_IF_ERROR(WriteWholeFile(api, CkptName(dir, index, "aout"), aout_bytes));
+  PMIG_TRY(std::string stack_bytes, ReadWholeFile(api, paths.stack));
+  PMIG_RETURN_IF_ERROR(WriteWholeFile(api, CkptName(dir, index, "stack"), stack_bytes));
+
+  sim::ByteWriter meta;
+  meta.U32(kMetaMagic);
+  meta.I32(pid);
+  for (int i = 0; i < kernel::kNoFile; ++i) meta.U8(saved[static_cast<size_t>(i)] ? 1 : 0);
+  PMIG_RETURN_IF_ERROR(WriteWholeFile(api, CkptName(dir, index, "meta"), meta.Take()));
+
+  // The snapshot killed the process; bring it back on this machine.
+  PMIG_TRY(int32_t new_pid, RestartStagedDump(api, pid));
+
+  // Tidy the staging area.
+  for (const std::string& p : {paths.aout, paths.files, paths.stack}) {
+    const Status st = api.Unlink(p);
+    (void)st;
+  }
+  CheckpointResult result;
+  result.new_pid = new_pid;
+  return result;
+}
+
+Result<int32_t> RestoreCheckpoint(kernel::SyscallApi& api, const std::string& dir, int index) {
+  PMIG_TRY(std::string meta_bytes, ReadWholeFile(api, CkptName(dir, index, "meta")));
+  sim::ByteReader meta(meta_bytes);
+  if (meta.U32() != kMetaMagic) return Errno::kNoExec;
+  const int32_t pid = meta.I32();
+  std::array<bool, kernel::kNoFile> saved{};
+  for (int i = 0; i < kernel::kNoFile; ++i) saved[static_cast<size_t>(i)] = meta.U8() != 0;
+  if (!meta.ok()) return Errno::kNoExec;
+
+  PMIG_TRY(std::string files_bytes, ReadWholeFile(api, CkptName(dir, index, "files")));
+  PMIG_TRY(FilesFile files, FilesFile::Parse(files_bytes));
+
+  // Put the saved open-file copies back so the restored program sees the file
+  // state as of the checkpoint.
+  for (int i = 0; i < kernel::kNoFile; ++i) {
+    if (!saved[static_cast<size_t>(i)]) continue;
+    const FilesEntry& entry = files.entries[static_cast<size_t>(i)];
+    PMIG_RETURN_IF_ERROR(
+        CopyFile(api, CkptName(dir, index, "open" + std::to_string(i)), entry.path));
+  }
+
+  // Re-stage the dump files under the original pid and restart. A root-driven
+  // restore stages them world-readable: restart drops to the owner's uid before
+  // rest_proc() reads them.
+  const DumpPaths paths = DumpPaths::For(pid);
+  PMIG_RETURN_IF_ERROR(CopyFile(api, CkptName(dir, index, "aout"), paths.aout, 0644));
+  PMIG_RETURN_IF_ERROR(WriteWholeFile(api, paths.files, files_bytes, 0644));
+  PMIG_RETURN_IF_ERROR(CopyFile(api, CkptName(dir, index, "stack"), paths.stack, 0644));
+  return RestartStagedDump(api, pid);
+}
+
+int CheckpointDaemon(kernel::SyscallApi& api, const CheckpointdOptions& options) {
+  int32_t current = options.pid;
+  int taken = 0;
+  for (int i = 0; i < options.count; ++i) {
+    api.Sleep(options.interval);
+    const Result<CheckpointResult> r = TakeCheckpoint(api, current, options.dir, i);
+    if (!r.ok()) break;  // target exited (or checkpointing failed): stop
+    current = r->new_pid;
+    ++taken;
+  }
+  return taken;
+}
+
+}  // namespace pmig::apps

@@ -1,0 +1,54 @@
+// Process checkpointing (Section 8, first application).
+//
+// "...we may write an application to take periodic snapshots of [a long-running
+// program] and save those snapshots by moving them to a directory managed by the
+// application ... which would then allow us to restart a program at its n-th
+// checkpoint. The application should also make copies of all files that were open
+// when the process was checkpointed, so that if the actual files were modified
+// after the checkpoint, the copies can be used instead..."
+//
+// A checkpoint directory looks like:
+//   <dir>/<n>.meta    — manifest: original pid, dump host, saved-file map
+//   <dir>/<n>.aout / <n>.files / <n>.stack — the three dump files
+//   <dir>/<n>.open<i> — copy of the contents of open-file slot i
+//
+// Because a SIGDUMP snapshot kills the process, TakeCheckpoint immediately
+// restarts it on the same machine; the process continues under a new pid.
+
+#ifndef PMIG_SRC_APPS_CHECKPOINT_H_
+#define PMIG_SRC_APPS_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+
+namespace pmig::apps {
+
+struct CheckpointResult {
+  int32_t new_pid = 0;  // the process, restarted after the snapshot
+};
+
+// Snapshots `pid` (which must run on the caller's machine) into <dir>/<index>.*
+// and restarts it locally. The caller must own the process or be root.
+Result<CheckpointResult> TakeCheckpoint(kernel::SyscallApi& api, int32_t pid,
+                                        const std::string& dir, int index);
+
+// Restores checkpoint <dir>/<index>.*: puts the saved open-file copies back at
+// their recorded paths, re-stages the dump files, and restarts the process on this
+// machine. Returns the new pid.
+Result<int32_t> RestoreCheckpoint(kernel::SyscallApi& api, const std::string& dir, int index);
+
+// checkpointd: takes `count` checkpoints of `pid`, one every `interval`, then
+// exits. Returns the number of checkpoints taken.
+struct CheckpointdOptions {
+  int32_t pid = 0;
+  std::string dir = "/ckpt";
+  sim::Nanos interval = sim::Seconds(30);
+  int count = 3;
+};
+int CheckpointDaemon(kernel::SyscallApi& api, const CheckpointdOptions& options);
+
+}  // namespace pmig::apps
+
+#endif  // PMIG_SRC_APPS_CHECKPOINT_H_

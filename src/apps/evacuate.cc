@@ -1,0 +1,52 @@
+#include "src/apps/evacuate.h"
+
+#include "src/core/tools.h"
+
+namespace pmig::apps {
+
+namespace {
+
+// The Section 7 eligibility rules, same as the load balancer's.
+bool Movable(kernel::Kernel& host, const kernel::Proc& p) {
+  for (const kernel::OpenFilePtr& f : p.fds) {
+    if (f != nullptr && f->kind != kernel::FileKind::kInode) return false;
+  }
+  for (kernel::Proc* q : host.ListProcs()) {
+    if (q->ppid == p.pid) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
+                              std::string_view from_host, std::string_view to_host,
+                              bool use_daemon) {
+  EvacuationReport report;
+  kernel::Kernel* from = net.FindHost(from_host);
+  if (from == nullptr) return report;
+
+  // Snapshot the pids first; the list changes as processes move away.
+  std::vector<int32_t> candidates;
+  for (kernel::Proc* p : from->ListProcs()) {
+    if (p->kind == kernel::ProcKind::kVm && p->Alive()) candidates.push_back(p->pid);
+  }
+  for (const int32_t pid : candidates) {
+    kernel::Proc* p = from->FindProc(pid);
+    if (p == nullptr || !p->Alive()) continue;  // exited meanwhile
+    if (!Movable(*from, *p)) {
+      report.unmovable.push_back(pid);
+      continue;
+    }
+    const int rc = core::Migrate(api, net, pid, std::string(from_host),
+                                 std::string(to_host), use_daemon);
+    if (rc == 0) {
+      report.moved.push_back(pid);
+    } else {
+      report.failed.push_back(pid);
+    }
+  }
+  return report;
+}
+
+}  // namespace pmig::apps

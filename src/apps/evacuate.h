@@ -1,0 +1,34 @@
+// Host evacuation — the paper's introductory use case: "moving a process from a
+// machine that is about to go down, to another."
+//
+// EvacuateHost migrates every live VM process off a machine (skipping the ones
+// Section 7 says cannot move: socket holders and parents with children — those
+// are reported, not silently dropped). Run it as root before taking the machine
+// down for maintenance.
+
+#ifndef PMIG_SRC_APPS_EVACUATE_H_
+#define PMIG_SRC_APPS_EVACUATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/net/network.h"
+
+namespace pmig::apps {
+
+struct EvacuationReport {
+  std::vector<int32_t> moved;        // migrated successfully
+  std::vector<int32_t> unmovable;    // skipped: sockets / children (Section 7)
+  std::vector<int32_t> failed;       // migration attempted but failed
+};
+
+// Moves every eligible VM process from `from_host` to `to_host`. The caller must
+// be root (it migrates other users' processes).
+EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
+                              std::string_view from_host, std::string_view to_host,
+                              bool use_daemon = true);
+
+}  // namespace pmig::apps
+
+#endif  // PMIG_SRC_APPS_EVACUATE_H_

@@ -1,0 +1,83 @@
+#include "src/apps/load_balancer.h"
+
+#include <algorithm>
+
+#include "src/core/tools.h"
+
+namespace pmig::apps {
+
+std::vector<std::pair<std::string, int>> SurveyLoad(net::Network& net) {
+  std::vector<std::pair<std::string, int>> loads;
+  for (kernel::Kernel* host : net.hosts()) {
+    int runnable = 0;
+    for (kernel::Proc* p : host->ListProcs()) {
+      if (p->kind == kernel::ProcKind::kVm && p->state == kernel::ProcState::kRunnable) {
+        ++runnable;
+      }
+    }
+    loads.emplace_back(host->hostname(), runnable);
+  }
+  return loads;
+}
+
+namespace {
+
+// The oldest runnable VM process on `host` older than `min_age`. Skips processes
+// blocked in wait() (the Section 7 caveat) and anything holding sockets.
+kernel::Proc* PickCandidate(kernel::Kernel& host, sim::Nanos now, sim::Nanos min_age) {
+  kernel::Proc* best = nullptr;
+  for (kernel::Proc* p : host.ListProcs()) {
+    if (p->kind != kernel::ProcKind::kVm || p->state != kernel::ProcState::kRunnable) continue;
+    if (now - p->start_time < min_age) continue;
+    bool has_children = false;
+    for (kernel::Proc* q : host.ListProcs()) {
+      if (q->ppid == p->pid) has_children = true;
+    }
+    if (has_children) continue;
+    bool has_socket = false;
+    for (const kernel::OpenFilePtr& f : p->fds) {
+      if (f != nullptr && f->kind != kernel::FileKind::kInode) has_socket = true;
+    }
+    if (has_socket) continue;
+    if (best == nullptr || p->start_time < best->start_time) best = p;
+  }
+  return best;
+}
+
+}  // namespace
+
+LoadBalancerStats RunLoadBalancer(kernel::SyscallApi& api, net::Network& net,
+                                  const LoadBalancerOptions& options) {
+  LoadBalancerStats stats;
+  for (int round = 0; round < options.max_rounds; ++round) {
+    ++stats.rounds;
+    auto loads = SurveyLoad(net);
+    auto busiest = std::max_element(loads.begin(), loads.end(),
+                                    [](const auto& a, const auto& b) { return a.second < b.second; });
+    auto idlest = std::min_element(loads.begin(), loads.end(),
+                                   [](const auto& a, const auto& b) { return a.second < b.second; });
+    if (busiest == loads.end() || idlest == loads.end()) break;
+    if (busiest->second - idlest->second < options.imbalance_threshold) {
+      // Balanced. If no VM work remains at all, we are done; otherwise keep
+      // watching until the jobs drain.
+      int total = 0;
+      for (const auto& [host, n] : loads) total += n;
+      if (total == 0) break;
+      api.Sleep(options.poll_interval);
+      continue;
+    }
+    kernel::Kernel* from = net.FindHost(busiest->first);
+    kernel::Proc* candidate = PickCandidate(*from, api.Now(), options.min_age);
+    if (candidate == nullptr) {
+      api.Sleep(options.poll_interval);
+      continue;
+    }
+    const int rc = core::Migrate(api, net, candidate->pid, busiest->first, idlest->first,
+                                 options.use_daemon);
+    if (rc == 0) ++stats.migrations;
+    api.Sleep(options.poll_interval);
+  }
+  return stats;
+}
+
+}  // namespace pmig::apps

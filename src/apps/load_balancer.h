@@ -1,0 +1,50 @@
+// Load balancing (Section 8, second application).
+//
+// "CPU bound jobs can be moved from busy nodes of the network to others that are
+// idle... Candidates for migration can be best selected from the processes that
+// have been running for more than a certain amount of time. This will ensure that
+// there is a high probability that the candidate program will keep running for
+// some time, and that it is worth paying the overhead of moving it."
+//
+// The balancer is a native program on one machine. It surveys per-host load the
+// way rwhod/load daemons would (reading each kernel's run queue), picks the oldest
+// eligible CPU-bound process on the busiest machine, and migrates it to the idlest
+// one. As the paper notes, migrate-over-rsh "may be too slow in terms of real time
+// response" for this use — so the balancer defaults to the migration daemon.
+
+#ifndef PMIG_SRC_APPS_LOAD_BALANCER_H_
+#define PMIG_SRC_APPS_LOAD_BALANCER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/net/network.h"
+
+namespace pmig::apps {
+
+struct LoadBalancerOptions {
+  sim::Nanos poll_interval = sim::Seconds(5);
+  // Minimum runtime before a process is worth moving.
+  sim::Nanos min_age = sim::Seconds(5);
+  // Migrate only when busiest - idlest runnable count is at least this.
+  int imbalance_threshold = 2;
+  bool use_daemon = true;  // rsh is too slow for load balancing (Section 8)
+  int max_rounds = 100;    // survey rounds before giving up
+};
+
+struct LoadBalancerStats {
+  int migrations = 0;
+  int rounds = 0;
+};
+
+// Per-host runnable VM-process count (the "load") as a load daemon would report.
+std::vector<std::pair<std::string, int>> SurveyLoad(net::Network& net);
+
+// Runs until the cluster's VM load is balanced (or max_rounds elapsed).
+LoadBalancerStats RunLoadBalancer(kernel::SyscallApi& api, net::Network& net,
+                                  const LoadBalancerOptions& options);
+
+}  // namespace pmig::apps
+
+#endif  // PMIG_SRC_APPS_LOAD_BALANCER_H_

@@ -1,0 +1,62 @@
+#include "src/apps/night_shift.h"
+
+#include "src/core/tools.h"
+
+namespace pmig::apps {
+
+std::vector<int32_t> BatchJobsOn(kernel::Kernel& host, int32_t batch_uid) {
+  std::vector<int32_t> pids;
+  for (kernel::Proc* p : host.ListProcs()) {
+    if (p->kind == kernel::ProcKind::kVm && p->Alive() && p->creds.uid == batch_uid) {
+      pids.push_back(p->pid);
+    }
+  }
+  return pids;
+}
+
+NightShiftStats RunNightShift(kernel::SyscallApi& api, net::Network& net,
+                              const NightShiftOptions& options) {
+  NightShiftStats stats;
+  for (int night = 0; night < options.nights; ++night) {
+    // Dusk: spread the day machine's hogs across the other machines, round-robin,
+    // leaving a fair share at home.
+    kernel::Kernel* day = net.FindHost(options.day_host);
+    if (day == nullptr) break;
+    std::vector<int32_t> jobs = BatchJobsOn(*day, options.batch_uid);
+    const auto& hosts = net.hosts();
+    const size_t share = (jobs.size() + hosts.size() - 1) / hosts.size();
+    size_t target_index = 0;
+    size_t moved_to_target = 0;
+    for (size_t i = share; i < jobs.size(); ++i) {
+      // Skip the day host itself when choosing targets.
+      while (hosts[target_index]->hostname() == options.day_host ||
+             moved_to_target >= share) {
+        target_index = (target_index + 1) % hosts.size();
+        moved_to_target = 0;
+      }
+      const int rc = core::Migrate(api, net, jobs[i], options.day_host,
+                                   hosts[target_index]->hostname(), options.use_daemon);
+      if (rc == 0) {
+        ++stats.spread_migrations;
+        ++moved_to_target;
+      }
+    }
+
+    // Night: let them compute.
+    api.Sleep(options.night_length);
+
+    // Dawn: gather every surviving hog back onto the day machine.
+    for (kernel::Kernel* host : hosts) {
+      if (host->hostname() == options.day_host) continue;
+      for (const int32_t pid : BatchJobsOn(*host, options.batch_uid)) {
+        const int rc = core::Migrate(api, net, pid, host->hostname(), options.day_host,
+                                     options.use_daemon);
+        if (rc == 0) ++stats.gather_migrations;
+      }
+    }
+    ++stats.nights_run;
+  }
+  return stats;
+}
+
+}  // namespace pmig::apps

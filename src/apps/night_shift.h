@@ -1,0 +1,45 @@
+// The "CPU hogs at night" application (Section 8, third application).
+//
+// "These jobs can be run in one machine during the day ..., when users want to use
+// the majority of the machines in the network. At night, when the load on most
+// machines is low, these jobs can be distributed evenly throughout the system."
+//
+// NightShiftController is a native program: at nightfall it spreads every hog
+// process from the day machine across the cluster round-robin; at dawn it gathers
+// them back onto the day machine. Hogs are recognised by ownership (a dedicated
+// batch uid), not by name — migration renames processes.
+
+#ifndef PMIG_SRC_APPS_NIGHT_SHIFT_H_
+#define PMIG_SRC_APPS_NIGHT_SHIFT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/net/network.h"
+
+namespace pmig::apps {
+
+struct NightShiftOptions {
+  std::string day_host;        // where the hogs live during the day
+  int32_t batch_uid = 999;     // uid that marks batch (hog) jobs
+  sim::Nanos night_length = sim::Seconds(60);
+  int nights = 1;
+  bool use_daemon = true;
+};
+
+struct NightShiftStats {
+  int spread_migrations = 0;   // dusk: day host -> others
+  int gather_migrations = 0;   // dawn: others -> day host
+  int nights_run = 0;
+};
+
+// Pids of live batch-uid VM processes on `host`.
+std::vector<int32_t> BatchJobsOn(kernel::Kernel& host, int32_t batch_uid);
+
+NightShiftStats RunNightShift(kernel::SyscallApi& api, net::Network& net,
+                              const NightShiftOptions& options);
+
+}  // namespace pmig::apps
+
+#endif  // PMIG_SRC_APPS_NIGHT_SHIFT_H_

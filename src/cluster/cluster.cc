@@ -1,0 +1,155 @@
+#include "src/cluster/cluster.h"
+#include <algorithm>
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace pmig::cluster {
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  trace_.set_enabled(config_.enable_trace);
+  network_ = std::make_unique<net::Network>(&config_.costs);
+  Boot();
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::Boot() {
+  assert(!config_.hosts.empty());
+  for (const HostSpec& spec : config_.hosts) {
+    kernel::KernelConfig kcfg = config_.kernel;
+    kcfg.isa = spec.isa;
+    auto k = std::make_unique<kernel::Kernel>(spec.name, &clock_, &config_.costs, &trace_, kcfg);
+    k->set_pid_base(100 + 1000 * static_cast<int32_t>(hosts_.size()));
+    k->set_program_registry(&programs_);
+    network_->AddHost(k.get());
+    hosts_.push_back(std::move(k));
+  }
+
+  // Cross-machine file access fails when the owning machine is down.
+  std::map<const vfs::Filesystem*, kernel::Kernel*> owners;
+  for (auto& k : hosts_) owners[&k->fs()] = k.get();
+  for (auto& k : hosts_) {
+    k->vfs().set_unreachable_check([owners](const vfs::Filesystem* fs) {
+      auto it = owners.find(fs);
+      return it != owners.end() && it->second->down();
+    });
+  }
+
+  // The /n/<host> convention: every machine's root appears on every machine
+  // (including itself — /n/self is a loopback view of the local disk).
+  for (auto& a : hosts_) {
+    for (auto& b : hosts_) {
+      vfs::InodePtr mount_point = a->vfs().SetupMkdirAll("/n/" + b->hostname());
+      if (a.get() != b.get()) {
+        a->vfs().AddMount(mount_point, b->fs().root());
+      } else {
+        a->vfs().AddMount(mount_point, a->fs().root());
+      }
+    }
+  }
+
+  if (config_.start_migration_daemons) {
+    for (auto& k : hosts_) {
+      auto service = std::make_unique<net::SpawnService>();
+      network_->RegisterSpawnService(k->hostname(), service.get());
+      net::SpawnService* raw = service.get();
+      spawn_services_.push_back(std::move(service));
+      kernel::SpawnOptions opts;  // root, no tty — a daemon
+      k->SpawnNative("migrationd",
+                     [raw](kernel::SyscallApi& api) {
+                       return net::MigrationDaemonMain(api, raw);
+                     },
+                     opts);
+    }
+  }
+}
+
+kernel::Kernel& Cluster::host(std::string_view name) {
+  kernel::Kernel* k = network_->FindHost(name);
+  if (k == nullptr) {
+    std::fprintf(stderr, "no such host: %.*s\n", static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  return *k;
+}
+
+net::SpawnService* Cluster::spawn_service(std::string_view hostname) {
+  return network_->FindSpawnService(hostname);
+}
+
+void Cluster::SetHostDown(std::string_view name, bool down) {
+  host(name).set_down(down);
+}
+
+bool Cluster::Step() {
+  bool ran = false;
+  for (auto& k : hosts_) {
+    ran |= k->RunQuantum();
+  }
+  clock_.Advance(config_.costs.quantum);
+  return ran;
+}
+
+bool Cluster::AnyTimedWork() const {
+  for (const auto& k : hosts_) {
+    // Blocked processes whose condition has become true must count as work.
+    const_cast<kernel::Kernel&>(*k).WakeBlockedProcs();
+  }
+  for (const auto& k : hosts_) {
+    if (k->HasTimedWork()) return true;
+  }
+  return false;
+}
+
+void Cluster::RunFor(sim::Nanos duration) {
+  const sim::Nanos end = clock_.now() + duration;
+  while (clock_.now() < end) {
+    if (!Step()) {
+      const sim::Nanos next = clock_.NextDeadline();
+      if (next < 0 || next >= end) {
+        clock_.Advance(end - clock_.now());
+        return;
+      }
+      if (next > clock_.now()) clock_.Advance(next - clock_.now());
+    }
+  }
+}
+
+bool Cluster::RunUntilIdle(sim::Nanos limit) {
+  const sim::Nanos end = clock_.now() + limit;
+  while (clock_.now() < end) {
+    if (!AnyTimedWork()) return true;
+    if (!Step()) {
+      const sim::Nanos next = clock_.NextDeadline();
+      if (next < 0) return !AnyTimedWork();
+      if (next > clock_.now()) clock_.Advance(next - clock_.now());
+    }
+  }
+  return !AnyTimedWork();
+}
+
+bool Cluster::RunUntil(const std::function<bool()>& cond, sim::Nanos limit) {
+  const sim::Nanos end = clock_.now() + limit;
+  while (clock_.now() < end) {
+    if (cond()) return true;
+    if (!Step()) {
+      const sim::Nanos next = clock_.NextDeadline();
+      if (next < 0 && !AnyTimedWork()) return cond();
+      if (next > clock_.now()) {
+        clock_.Advance(std::min(next, end) - clock_.now());
+      }
+    }
+  }
+  return cond();
+}
+
+sim::Nanos Cluster::TotalCpu() const {
+  sim::Nanos total = 0;
+  for (const auto& k : hosts_) total += k->TotalCpu();
+  return total;
+}
+
+}  // namespace pmig::cluster

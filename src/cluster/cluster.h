@@ -1,0 +1,96 @@
+// A cluster of workstations on one Ethernet, sharing one virtual timeline.
+//
+// Reproduces the paper's environment (Section 3): Sun workstations plus a file
+// server, each machine's root mounted on every other machine as /n/<host> (the 8th
+// research edition convention), NFS for all cross-machine file access. Machines run
+// in lockstep scheduler quanta; all timers and I/O completions live on the shared
+// VirtualClock, so a whole multi-machine experiment is deterministic.
+
+#ifndef PMIG_SRC_CLUSTER_CLUSTER_H_
+#define PMIG_SRC_CLUSTER_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/net/migration_daemon.h"
+#include "src/net/network.h"
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/trace.h"
+
+namespace pmig::cluster {
+
+struct HostSpec {
+  std::string name;
+  vm::IsaLevel isa = vm::IsaLevel::kIsa20;  // Sun-3 by default
+};
+
+struct ClusterConfig {
+  std::vector<HostSpec> hosts;
+  sim::CostModel costs;
+  kernel::KernelConfig kernel;      // applied to every host (isa overridden per host)
+  bool start_migration_daemons = false;  // run migrationd on every host (§6.4)
+  bool enable_trace = false;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  kernel::Kernel& host(std::string_view name);
+  const std::vector<std::unique_ptr<kernel::Kernel>>& hosts() const { return hosts_; }
+  net::Network& network() { return *network_; }
+  sim::VirtualClock& clock() { return clock_; }
+  sim::TraceLog& trace() { return trace_; }
+  const sim::CostModel& costs() const { return config_.costs; }
+  kernel::ProgramRegistry& programs() { return programs_; }
+
+  void RegisterProgram(const std::string& name, kernel::ProgramEntry entry) {
+    programs_[name] = std::move(entry);
+  }
+
+  // --- Simulation driving ---
+  // Runs every machine for (roughly) `duration` of virtual time.
+  void RunFor(sim::Nanos duration);
+  // Runs until no machine has runnable/sleeping work (blocked-forever daemons are
+  // considered idle) or `limit` virtual time elapses. True if it went idle.
+  bool RunUntilIdle(sim::Nanos limit = sim::Seconds(600));
+  // Runs until `cond()` holds; true if it did before `limit` elapsed.
+  bool RunUntil(const std::function<bool()>& cond, sim::Nanos limit = sim::Seconds(600));
+
+  // Total CPU consumed across all machines (for "CPU time of an operation" deltas).
+  sim::Nanos TotalCpu() const;
+
+  // The migration daemon's queue on `host` (null unless daemons are running).
+  net::SpawnService* spawn_service(std::string_view host);
+
+  // Powers a machine off (crash) or back on. While down it runs nothing and its
+  // disk is unreachable from every other machine.
+  void SetHostDown(std::string_view name, bool down);
+
+ private:
+  void Boot();
+  // One lockstep step: each machine runs a quantum, then the clock advances by one
+  // quantum (machines are parallel hardware). Returns true if anything ran.
+  bool Step();
+  bool AnyTimedWork() const;
+
+  ClusterConfig config_;
+  sim::VirtualClock clock_;
+  sim::TraceLog trace_;
+  kernel::ProgramRegistry programs_;
+  std::vector<std::unique_ptr<kernel::Kernel>> hosts_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<net::SpawnService>> spawn_services_;
+};
+
+}  // namespace pmig::cluster
+
+#endif  // PMIG_SRC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,109 @@
+#include "src/core/dump_format.h"
+
+#include "src/sim/bytes.h"
+
+namespace pmig::core {
+
+namespace {
+constexpr uint32_t kStackFormatVersion = 2;  // v2 added the identity extension
+}
+
+std::string FilesFile::Serialize() const {
+  sim::ByteWriter w;
+  w.U32(kFilesMagic);
+  w.Str(host);
+  w.Str(cwd);
+  for (const FilesEntry& e : entries) {
+    w.U8(static_cast<uint8_t>(e.kind));
+    if (e.kind == FilesEntry::Kind::kFile) {
+      w.Str(e.path);
+      w.I32(e.flags);
+      w.I64(e.offset);
+    }
+    // Sockets: "no extra information is kept in the case of a socket."
+  }
+  w.U8(had_tty ? 1 : 0);
+  w.U16(tty_flags);
+  return w.Take();
+}
+
+Result<FilesFile> FilesFile::Parse(const std::string& bytes) {
+  sim::ByteReader r(bytes);
+  if (r.U32() != kFilesMagic) return Errno::kNoExec;
+  FilesFile f;
+  f.host = r.Str();
+  f.cwd = r.Str();
+  for (FilesEntry& e : f.entries) {
+    e.kind = static_cast<FilesEntry::Kind>(r.U8());
+    if (e.kind == FilesEntry::Kind::kFile) {
+      e.path = r.Str();
+      e.flags = r.I32();
+      e.offset = r.I64();
+    }
+  }
+  f.had_tty = r.U8() != 0;
+  f.tty_flags = r.U16();
+  if (!r.ok()) return Errno::kNoExec;
+  return f;
+}
+
+std::string StackFile::Serialize() const {
+  sim::ByteWriter w;
+  w.U32(kStackMagic);
+  w.U32(kStackFormatVersion);
+  w.I32(creds.uid);
+  w.I32(creds.gid);
+  w.I32(creds.euid);
+  w.I32(creds.egid);
+  w.Blob(stack);  // length prefix is "the size of the stack"
+  for (const int64_t reg : cpu.regs) w.I64(reg);
+  w.U32(cpu.pc);
+  w.U32(cpu.sp);
+  for (const kernel::SignalDisposition& d : sig_dispositions) {
+    w.U8(static_cast<uint8_t>(d.action));
+    w.U32(d.handler);
+  }
+  w.U64(sig_pending);
+  // v2 extension.
+  w.I32(old_pid);
+  w.Str(old_host);
+  return w.Take();
+}
+
+Result<StackFile> StackFile::Parse(const std::string& bytes) {
+  sim::ByteReader r(bytes);
+  if (r.U32() != kStackMagic) return Errno::kNoExec;
+  const uint32_t version = r.U32();
+  if (version < 1 || version > kStackFormatVersion) return Errno::kNoExec;
+  StackFile s;
+  s.creds.uid = r.I32();
+  s.creds.gid = r.I32();
+  s.creds.euid = r.I32();
+  s.creds.egid = r.I32();
+  s.stack = r.Blob();
+  for (int64_t& reg : s.cpu.regs) reg = r.I64();
+  s.cpu.pc = r.U32();
+  s.cpu.sp = r.U32();
+  for (kernel::SignalDisposition& d : s.sig_dispositions) {
+    d.action = static_cast<kernel::SignalDisposition::Action>(r.U8());
+    d.handler = r.U32();
+  }
+  s.sig_pending = r.U64();
+  if (version >= 2) {
+    s.old_pid = r.I32();
+    s.old_host = r.Str();
+  }
+  if (!r.ok()) return Errno::kNoExec;
+  return s;
+}
+
+DumpPaths DumpPaths::For(int32_t pid, const std::string& dir) {
+  DumpPaths p;
+  const std::string suffix = std::to_string(pid);
+  p.aout = dir + "/a.out" + suffix;
+  p.files = dir + "/files" + suffix;
+  p.stack = dir + "/stack" + suffix;
+  return p;
+}
+
+}  // namespace pmig::core

@@ -1,0 +1,76 @@
+// The three SIGDUMP dump files (Section 4.3).
+//
+//   a.outXXXXX  — an ordinary executable: header + text + data (vm::AoutImage).
+//   filesXXXXX  — everything restart needs at *user level*: magic 0445, the dump
+//                 host, the cwd path, one fixed slot per possible open file
+//                 (unused / file+path+flags+offset / socket), and the tty flags.
+//   stackXXXXX  — everything the *kernel* needs: magic 0444, credentials, stack
+//                 size and contents, registers, and the signal state. Plus a
+//                 versioned extension block carrying the old pid/host for the
+//                 Section 7 identity-virtualisation proposal.
+//
+// XXXXX is the pid of the dumped process; the files land in /usr/tmp.
+
+#ifndef PMIG_SRC_CORE_DUMP_FORMAT_H_
+#define PMIG_SRC_CORE_DUMP_FORMAT_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/kernel/proc.h"
+#include "src/sim/result.h"
+#include "src/vm/cpu.h"
+
+namespace pmig::core {
+
+constexpr uint32_t kFilesMagic = 0445;  // "arbitrarily set to octal 445"
+constexpr uint32_t kStackMagic = 0444;  // "arbitrarily set to octal 444"
+
+struct FilesEntry {
+  enum class Kind : uint8_t { kUnused = 0, kFile = 1, kSocket = 2 };
+  Kind kind = Kind::kUnused;
+  std::string path;    // absolute (from the kernel's name tracking); kFile only
+  int32_t flags = 0;   // open flags
+  int64_t offset = 0;  // file offset at dump time
+};
+
+struct FilesFile {
+  std::string host;  // "the name of the host on which the process was running"
+  std::string cwd;   // "the absolute path name of the current working directory"
+  std::array<FilesEntry, kernel::kNoFile> entries;
+  bool had_tty = false;
+  uint16_t tty_flags = 0;  // "raw mode, echo/noecho, etc."
+
+  std::string Serialize() const;
+  static Result<FilesFile> Parse(const std::string& bytes);
+};
+
+struct StackFile {
+  kernel::Credentials creds;
+  std::vector<uint8_t> stack;  // contents from sp to the stack top
+  vm::CpuState cpu;            // "the contents of all the registers"
+  std::array<kernel::SignalDisposition, vm::abi::kNSig> sig_dispositions = {};
+  uint64_t sig_pending = 0;
+  // Extension block (version >= 2): pre-migration identity.
+  int32_t old_pid = 0;
+  std::string old_host;
+
+  uint32_t stack_size() const { return static_cast<uint32_t>(stack.size()); }
+
+  std::string Serialize() const;
+  static Result<StackFile> Parse(const std::string& bytes);
+};
+
+// Dump-file names: "a.outXXXXX", "filesXXXXX", "stackXXXXX" in `dir`.
+struct DumpPaths {
+  std::string aout;
+  std::string files;
+  std::string stack;
+
+  static DumpPaths For(int32_t pid, const std::string& dir = "/usr/tmp");
+};
+
+}  // namespace pmig::core
+
+#endif  // PMIG_SRC_CORE_DUMP_FORMAT_H_

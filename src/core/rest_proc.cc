@@ -1,0 +1,103 @@
+#include "src/core/rest_proc.h"
+
+#include <algorithm>
+
+#include "src/core/dump_format.h"
+#include "src/vfs/path.h"
+#include "src/vm/aout.h"
+
+namespace pmig::core {
+
+namespace {
+
+// Reads a whole dump file on behalf of `p`, enforcing read permission with the
+// caller's (pre-restore) credentials — this is what makes only the owner or the
+// superuser able to restart a process.
+Result<std::string> ReadDumpFile(kernel::Kernel& k, kernel::Proc& p,
+                                 const std::string& path) {
+  kernel::SyscallApi* sink = k.ApiFor(p.pid);
+  PMIG_TRY(vfs::Vfs::Resolved r, k.vfs().Resolve(p.cwd, path, vfs::Follow::kAll, sink));
+  if (!r.inode->IsRegular()) return Errno::kNoExec;
+  if (!vfs::CheckAccess(*r.inode, p.creds.euid, vfs::kWantRead)) return Errno::kAcces;
+  std::string bytes;
+  k.vfs().ReadAt(*r.inode, 0, r.inode->size(), &bytes, sink);
+  return bytes;
+}
+
+// Reads the a.out the way the modified execve() does: demand-paged, so only the
+// header + first pages are charged synchronously.
+Result<std::string> ReadAoutDemandPaged(kernel::Kernel& k, kernel::Proc& p,
+                                        const std::string& path) {
+  kernel::SyscallApi* sink = k.ApiFor(p.pid);
+  PMIG_TRY(vfs::Vfs::Resolved r, k.vfs().Resolve(p.cwd, path, vfs::Follow::kAll, sink));
+  if (!r.inode->IsRegular()) return Errno::kNoExec;
+  if (!vfs::CheckAccess(*r.inode, p.creds.euid, vfs::kWantRead)) return Errno::kAcces;
+  std::string bytes;
+  k.vfs().ReadAt(*r.inode, 0, r.inode->size(), &bytes, nullptr);
+  if (sink != nullptr) {
+    const sim::CostModel& costs = k.costs();
+    const int64_t prefetch = std::min<int64_t>(r.inode->size(), costs.exec_prefetch_bytes);
+    const bool remote = k.vfs().InodeIsRemote(*r.inode);
+    const auto io = remote ? costs.NetIo(prefetch) : costs.DiskIo(prefetch);
+    sink->ChargeCpu(io.cpu);
+    sink->ChargeWait(io.wait + (remote ? costs.nfs_rpc : costs.inode_fetch));
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Status RestProcImpl(kernel::Kernel& k, kernel::Proc& p, const std::string& aout_path,
+                    const std::string& stack_path) {
+  // 1. Open the stackXXXXX file, checking access permissions and the magic number.
+  PMIG_TRY(std::string stack_bytes, ReadDumpFile(k, p, stack_path));
+  PMIG_TRY(StackFile stack, StackFile::Parse(stack_bytes));
+  if (stack.stack.size() > vm::kStackMax) return Errno::kNoExec;
+
+  // 2. The executable (validated before we touch the caller's image). Loaded via
+  // the modified execve(), i.e. demand-paged.
+  PMIG_TRY(std::string aout_bytes, ReadAoutDemandPaged(k, p, aout_path));
+  PMIG_TRY(vm::AoutImage image,
+           vm::AoutImage::Parse(std::vector<uint8_t>(aout_bytes.begin(), aout_bytes.end())));
+
+  // 3. Set the global flag indicating process migration and the stack-size
+  // variable, then 4. call execve() with a null environment. ("As the environment
+  // of the old process was stored in its stack, it will be automatically restored
+  // when the stack is read in.")
+  k.SetRestProcExec(stack.stack_size());
+  const kernel::ProcKind previous_kind = p.kind;
+  p.kind = kernel::ProcKind::kVm;
+  const Status exec_status = k.OverlayVmImage(p, image, {});
+  // 5. Reset the flag so that further calls to execve() work properly.
+  k.ClearRestProcExec();
+  if (!exec_status.ok()) {
+    p.kind = previous_kind;
+    if (previous_kind == kernel::ProcKind::kNative) p.vm.reset();
+    return exec_status;
+  }
+
+  // 6. Set the user credentials to those already read.
+  p.creds = stack.creds;
+
+  // 7. Read in the contents of the stack and registers.
+  p.vm->SetStackContents(stack.stack);
+  p.vm->cpu = stack.cpu;
+  kernel::SyscallApi* sink = k.ApiFor(p.pid);
+  if (sink != nullptr) {
+    sink->ChargeCpu(static_cast<sim::Nanos>(stack.stack.size()) *
+                    k.costs().buffer_copy_per_byte);
+  }
+
+  // 8. Read in the information on the disposition of signals.
+  p.sig_dispositions = stack.sig_dispositions;
+  p.sig_pending = stack.sig_pending;
+
+  // 9. At this point, the process running is a copy of the old process.
+  p.migrated = true;
+  p.old_pid = stack.old_pid;
+  p.old_host = stack.old_host;
+  p.command = vfs::Basename(aout_path) + " (migrated)";
+  return Status::Ok();
+}
+
+}  // namespace pmig::core

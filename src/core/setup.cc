@@ -1,0 +1,31 @@
+#include "src/core/setup.h"
+
+#include "src/core/rest_proc.h"
+#include "src/core/shell.h"
+#include "src/core/sigdump.h"
+#include "src/core/tools.h"
+
+namespace pmig::core {
+
+void InstallMigration(cluster::Cluster& cluster) {
+  kernel::MigrationHooks hooks;
+  hooks.sigdump = BuildSigdump;
+  hooks.rest_proc = RestProcImpl;
+  for (const auto& host : cluster.hosts()) {
+    host->set_migration_hooks(hooks);
+  }
+
+  cluster.RegisterProgram("dumpproc", DumpprocMain);
+  cluster.RegisterProgram("restart", RestartMain);
+  cluster.RegisterProgram("undump", UndumpMain);
+  cluster.RegisterProgram("ps", PsMain);
+  cluster.RegisterProgram("sh", ShellMain);
+  net::Network* network = &cluster.network();
+  cluster.RegisterProgram("migrate",
+                          [network](kernel::SyscallApi& api,
+                                    const std::vector<std::string>& args) {
+                            return MigrateMain(api, *network, args);
+                          });
+}
+
+}  // namespace pmig::core

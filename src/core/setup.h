@@ -1,0 +1,20 @@
+// Wiring: installs the migration mechanism into a cluster.
+//
+// After InstallMigration(cluster):
+//   * every kernel delivers SIGDUMP by writing the three dump files (sigdump.h)
+//     and implements rest_proc() (rest_proc.h);
+//   * dumpproc / restart / migrate / undump are registered in the program registry
+//     so shells, rsh, and the migration daemon can launch them by name.
+
+#ifndef PMIG_SRC_CORE_SETUP_H_
+#define PMIG_SRC_CORE_SETUP_H_
+
+#include "src/cluster/cluster.h"
+
+namespace pmig::core {
+
+void InstallMigration(cluster::Cluster& cluster);
+
+}  // namespace pmig::core
+
+#endif  // PMIG_SRC_CORE_SETUP_H_

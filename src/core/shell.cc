@@ -1,0 +1,156 @@
+#include "src/core/shell.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pmig::core {
+
+namespace {
+
+void Say(kernel::SyscallApi& api, const std::string& text) {
+  const Result<int64_t> n = api.Write(1, text);
+  (void)n;
+}
+
+// Reaps any finished background jobs; announces them like sh's "[n] Done".
+void ReapBackground(kernel::SyscallApi& api, std::vector<int32_t>* jobs) {
+  kernel::Kernel& k = api.kernel();
+  for (auto it = jobs->begin(); it != jobs->end();) {
+    kernel::Proc* p = k.FindAnyProc(*it);
+    const bool finished = p == nullptr || !p->Alive() || p->overlaid;
+    if (finished) {
+      Say(api, "[done] " + std::to_string(*it) + "\n");
+      if (p != nullptr && p->state == kernel::ProcState::kZombie) {
+        // Reap via wait(); our wait returns the first ready child, which must be
+        // this one or another finished job — either way it gets collected.
+        const Result<kernel::WaitResult> wr = api.Wait();
+        (void)wr;
+      }
+      it = jobs->erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// Runs one command; returns its exit code (0 for built-ins that succeed).
+int RunCommand(kernel::SyscallApi& api, const std::vector<std::string>& tokens,
+               bool background, std::vector<int32_t>* jobs) {
+  const std::string& cmd = tokens[0];
+  std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+
+  // Resolve: registered program, absolute path, or /bin/<name>.
+  Result<int32_t> pid = Errno::kNoEnt;
+  const kernel::ProgramRegistry* registry = api.kernel().program_registry();
+  if (registry != nullptr && registry->find(cmd) != registry->end()) {
+    pid = api.SpawnProgram(cmd, args);
+  } else {
+    std::vector<std::string> argv = tokens;  // argv[0] = program name, as execve
+    const std::string path = cmd.front() == '/' ? cmd : "/bin/" + cmd;
+    pid = api.SpawnVm(path, argv);
+  }
+  if (!pid.ok()) {
+    Say(api, cmd + ": not found\n");
+    return 127;
+  }
+  if (background) {
+    jobs->push_back(*pid);
+    Say(api, "[" + std::to_string(*pid) + "]\n");
+    return 0;
+  }
+  // Foreground: wait for *this* child (background jobs may finish meanwhile and
+  // be returned first; keep collecting).
+  for (;;) {
+    const Result<kernel::WaitResult> wr = api.Wait();
+    if (!wr.ok()) return 127;
+    if (wr->pid == *pid) {
+      if (!wr->overlaid) return wr->info.exit_code;
+      // The child was overlaid by rest_proc() (e.g. a foreground `restart`): the
+      // restored program now owns this terminal. A real shell keeps waiting for
+      // its foreground job, so block until the process is truly gone — otherwise
+      // the shell's prompt read would steal the program's keystrokes.
+      kernel::Kernel& k = api.kernel();
+      const int32_t fg = wr->pid;
+      api.BlockUntil([&k, fg] {
+        const kernel::Proc* p = k.FindAnyProc(fg);
+        return p == nullptr || !p->Alive();
+      });
+      return 0;
+    }
+    // Some background job finished first; drop it from the table.
+    for (auto it = jobs->begin(); it != jobs->end(); ++it) {
+      if (*it == wr->pid) {
+        jobs->erase(it);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizeCommandLine(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+int ShellMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {
+  (void)args;
+  std::vector<int32_t> jobs;
+  for (;;) {
+    ReapBackground(api, &jobs);
+    Say(api, "$ ");
+    const Result<std::string> line = api.ReadLine(0);
+    if (!line.ok() || line->empty()) {
+      Say(api, "\n");
+      return 0;  // EOF
+    }
+    std::vector<std::string> tokens = TokenizeCommandLine(*line);
+    if (tokens.empty()) continue;
+
+    bool background = false;
+    if (tokens.back() == "&") {
+      background = true;
+      tokens.pop_back();
+      if (tokens.empty()) continue;
+    }
+
+    const std::string& cmd = tokens[0];
+    if (cmd == "exit") {
+      return tokens.size() > 1 ? std::atoi(tokens[1].c_str()) : 0;
+    }
+    if (cmd == "cd") {
+      const std::string target = tokens.size() > 1 ? tokens[1] : "/";
+      if (!api.Chdir(target).ok()) Say(api, "cd: " + target + ": no such directory\n");
+      continue;
+    }
+    if (cmd == "pwd") {
+      const Result<std::string> cwd = api.GetCwd();
+      Say(api, (cwd.ok() ? *cwd : std::string("?")) + "\n");
+      continue;
+    }
+    if (cmd == "jobs") {
+      for (const int32_t job : jobs) Say(api, std::to_string(job) + "\n");
+      continue;
+    }
+    if (cmd == "help") {
+      Say(api, "built-ins: cd pwd jobs exit help; commands run from the registry or /bin\n");
+      continue;
+    }
+    RunCommand(api, tokens, background, &jobs);
+  }
+}
+
+}  // namespace pmig::core

@@ -1,0 +1,36 @@
+// msh — a minimal interactive shell for the simulated system.
+//
+// Just enough of a 1980s /bin/sh to drive the machines the way the paper's users
+// did: run commands from a terminal (registered tools like dumpproc/restart/
+// migrate/ps, or VM executables by path or from /bin), wait for them, push long
+// jobs into the background with a trailing '&', and move around with cd/pwd.
+//
+//   $ counter &
+//   $ ps
+//   $ migrate -p 1234 -f brick -t schooner
+//   $ cd /usr/tmp
+//   $ exit
+//
+// Built-ins: cd [dir], pwd, exit [code], jobs, help. Anything else resolves as a
+// registered program first, then as /bin/<name> (or an absolute path) executable.
+
+#ifndef PMIG_SRC_CORE_SHELL_H_
+#define PMIG_SRC_CORE_SHELL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+
+namespace pmig::core {
+
+// The shell program entry (registered as "sh"). Reads commands from fd 0 until
+// EOF or `exit`.
+int ShellMain(kernel::SyscallApi& api, const std::vector<std::string>& args);
+
+// Splits a command line into whitespace-separated tokens (exposed for tests).
+std::vector<std::string> TokenizeCommandLine(std::string_view line);
+
+}  // namespace pmig::core
+
+#endif  // PMIG_SRC_CORE_SHELL_H_

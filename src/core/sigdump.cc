@@ -1,0 +1,87 @@
+#include "src/core/sigdump.h"
+
+#include "src/core/dump_format.h"
+#include "src/vm/aout.h"
+
+namespace pmig::core {
+
+Result<kernel::PreparedDump> BuildSigdump(kernel::Kernel& k, kernel::Proc& p) {
+  if (p.kind != kernel::ProcKind::kVm || p.vm == nullptr) {
+    // Tool processes keep their state on a C++ stack; like the paper's own
+    // commands, they are not migratable.
+    return Errno::kInval;
+  }
+  const vm::VmContext& ctx = *p.vm;
+
+  // --- a.outXXXXX: text + data behind an ordinary exec header. Running it from
+  // scratch is the `undump` behaviour: fresh start, dumped statics.
+  vm::AoutImage image;
+  image.text = ctx.text;
+  image.data = ctx.data;
+  image.header.entry = 0;  // entry is only used when executed as a fresh program
+  image.header.machtype =
+      vm::RequiredLevel(ctx.text.data(), ctx.text.size()) == vm::IsaLevel::kIsa20 ? 20 : 10;
+  const std::vector<uint8_t> aout_bytes = image.Serialize();
+
+  // --- filesXXXXX: user-level restart information.
+  FilesFile files;
+  files.host = k.hostname();
+  files.cwd = p.u_cwd_path.empty() ? "/" : p.u_cwd_path;
+  for (int fd = 0; fd < kernel::kNoFile; ++fd) {
+    const kernel::OpenFilePtr& file = p.fds[static_cast<size_t>(fd)];
+    FilesEntry& entry = files.entries[static_cast<size_t>(fd)];
+    if (file == nullptr) {
+      entry.kind = FilesEntry::Kind::kUnused;
+    } else if (file->kind != kernel::FileKind::kInode) {
+      // Pipes and sockets cannot be redirected to a migrated process (Section 7);
+      // the dump records only that a socket-class descriptor was there.
+      entry.kind = FilesEntry::Kind::kSocket;
+    } else if (!file->name.has_value()) {
+      // Without the 5.1 name tracking the kernel cannot say what this file is.
+      entry.kind = FilesEntry::Kind::kUnused;
+    } else {
+      entry.kind = FilesEntry::Kind::kFile;
+      entry.path = *file->name;
+      entry.flags = file->flags;
+      entry.offset = file->offset;
+    }
+  }
+  if (p.controlling_tty != nullptr) {
+    files.had_tty = true;
+    files.tty_flags = p.controlling_tty->flags();
+  }
+  const std::string files_bytes = files.Serialize();
+
+  // --- stackXXXXX: kernel-level restart information.
+  StackFile stack;
+  stack.creds = p.creds;
+  stack.stack = ctx.StackContents();
+  stack.cpu = ctx.cpu;
+  stack.sig_dispositions = p.sig_dispositions;
+  stack.sig_pending = p.sig_pending;
+  stack.old_pid = p.pid;
+  stack.old_host = k.hostname();
+  const std::string stack_bytes = stack.Serialize();
+
+  const DumpPaths paths = DumpPaths::For(p.pid);
+  kernel::PreparedDump dump;
+  dump.files.emplace_back(paths.aout,
+                          std::string(aout_bytes.begin(), aout_bytes.end()));
+  dump.files.emplace_back(paths.files, files_bytes);
+  dump.files.emplace_back(paths.stack, stack_bytes);
+
+  // Cost: like the SIGQUIT core-dump path but for three files — assemble the
+  // bytes, create three directory entries under /usr/tmp, push the blocks out.
+  const sim::CostModel& costs = k.costs();
+  int64_t total_bytes = 0;
+  for (const auto& [path, contents] : dump.files) {
+    total_bytes += static_cast<int64_t>(contents.size());
+    dump.cpu += 2 * costs.namei_component + costs.file_table_slot + costs.syscall_entry;
+  }
+  const auto io = costs.DiskIo(total_bytes);
+  dump.cpu += io.cpu;
+  dump.wait = io.wait;
+  return dump;
+}
+
+}  // namespace pmig::core

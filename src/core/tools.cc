@@ -1,0 +1,477 @@
+#include "src/core/tools.h"
+
+#include <cstdio>
+#include <deque>
+
+#include "src/core/dump_format.h"
+#include "src/kernel/core_file.h"
+#include "src/net/migration_daemon.h"
+#include "src/net/rsh.h"
+#include "src/vfs/path.h"
+#include "src/vm/aout.h"
+
+namespace pmig::core {
+
+namespace {
+
+using vm::abi::OpenFlags;
+
+void Complain(kernel::SyscallApi& api, const std::string& message) {
+  const Result<int64_t> n = api.Write(2, message + "\n");
+  (void)n;
+}
+
+// Reads and parses one dump file.
+template <typename T>
+Result<T> LoadDumpFile(kernel::SyscallApi& api, const std::string& path) {
+  PMIG_TRY(int fd, api.Open(path, OpenFlags::kORdOnly));
+  const Result<std::string> bytes = api.ReadAll(fd);
+  const Status closed = api.Close(fd);
+  (void)closed;
+  if (!bytes.ok()) return bytes.error();
+  return T::Parse(*bytes);
+}
+
+Status WriteFileContents(kernel::SyscallApi& api, const std::string& path,
+                         const std::string& contents, uint16_t mode) {
+  PMIG_TRY(int fd, api.Creat(path, mode));
+  const Result<int64_t> n = api.Write(fd, contents);
+  const Status closed = api.Close(fd);
+  (void)closed;
+  if (!n.ok()) return n.error();
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::string> Realpath(kernel::SyscallApi& api, const std::string& path) {
+  std::string start = path;
+  if (!vfs::IsAbsolute(start)) {
+    PMIG_TRY(std::string cwd, api.GetCwd());
+    start = vfs::Combine(cwd, start);
+  }
+  std::deque<std::string> pending;
+  for (std::string& c : vfs::SplitPath(start)) pending.push_back(std::move(c));
+
+  std::vector<std::string> resolved;
+  int expansions = 0;
+  while (!pending.empty()) {
+    const std::string comp = std::move(pending.front());
+    pending.pop_front();
+    if (comp == ".") continue;
+    if (comp == "..") {
+      if (!resolved.empty()) resolved.pop_back();
+      continue;
+    }
+    resolved.push_back(comp);
+    const std::string candidate = vfs::JoinAbsolute(resolved);
+    const Result<kernel::StatInfo> info = api.LStat(candidate);
+    if (!info.ok()) {
+      if (info.error() == Errno::kNoEnt && pending.empty()) {
+        return candidate;  // nonexistent leaf is fine (e.g. a file to be created)
+      }
+      return info.error();
+    }
+    if (info->type == vfs::InodeType::kSymlink) {
+      if (++expansions > 4 * vfs::kMaxSymlinkExpansions) return Errno::kLoop;
+      PMIG_TRY(std::string target, api.Readlink(candidate));
+      resolved.pop_back();
+      std::vector<std::string> target_comps = vfs::SplitPath(target);
+      for (auto it = target_comps.rbegin(); it != target_comps.rend(); ++it) {
+        pending.push_front(std::move(*it));
+      }
+      if (vfs::IsAbsolute(target)) resolved.clear();
+    }
+  }
+  return vfs::JoinAbsolute(resolved);
+}
+
+// --- dumpproc ----------------------------------------------------------------------
+
+namespace {
+
+// The Section 4.4 path rewriting: resolve symlinks; terminals become /dev/tty;
+// local paths get /n/<host> prepended so any machine can reopen them.
+std::string RewritePathForMigration(kernel::SyscallApi& api, const std::string& host,
+                                    const std::string& path, bool may_be_tty) {
+  const Result<std::string> real = Realpath(api, path);
+  std::string p = real.ok() ? *real : path;
+  if (may_be_tty) {
+    const Result<kernel::StatInfo> info = api.Stat(p);
+    if (info.ok() && info->is_tty) return "/dev/tty";
+  }
+  if (!(p.size() >= 3 && p.compare(0, 3, "/n/") == 0)) {
+    p = vfs::NormalizeAbsolute("/n/" + host + p);
+  }
+  return p;
+}
+
+}  // namespace
+
+void RewriteFilesForMigration(kernel::SyscallApi& api, FilesFile* files) {
+  const std::string host = api.GetHostname();
+  files->cwd = RewritePathForMigration(api, host, files->cwd, /*may_be_tty=*/false);
+  for (FilesEntry& entry : files->entries) {
+    if (entry.kind != FilesEntry::Kind::kFile) continue;
+    entry.path = RewritePathForMigration(api, host, entry.path, /*may_be_tty=*/true);
+  }
+}
+
+int Dumpproc(kernel::SyscallApi& api, int32_t pid) {
+  // Kill the process with SIGDUMP. kill() itself enforces that only the superuser
+  // or the owner may do this.
+  const Status killed = api.Kill(pid, vm::abi::kSigDump);
+  if (!killed.ok()) {
+    Complain(api, "dumpproc: cannot signal process " + std::to_string(pid) + ": " +
+                      std::string(ErrnoName(killed.error())));
+    return 1;
+  }
+
+  // The dump files are created by the dying process; poll for a.outXXXXX,
+  // sleeping one second after each unsuccessful attempt (aborting after ten).
+  const DumpPaths paths = DumpPaths::For(pid);
+  bool appeared = false;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const Result<int> fd = api.Open(paths.aout, OpenFlags::kORdOnly);
+    if (fd.ok()) {
+      const Status closed = api.Close(*fd);
+      (void)closed;
+      appeared = true;
+      break;
+    }
+    api.Sleep(sim::Seconds(1));
+  }
+  if (!appeared) {
+    Complain(api, "dumpproc: dump files for " + std::to_string(pid) + " never appeared");
+    return 1;
+  }
+
+  Result<FilesFile> files = LoadDumpFile<FilesFile>(api, paths.files);
+  if (!files.ok()) {
+    Complain(api, "dumpproc: bad " + paths.files);
+    return 1;
+  }
+
+  RewriteFilesForMigration(api, &files.value());
+
+  if (!WriteFileContents(api, paths.files, files->Serialize(), 0600).ok()) {
+    Complain(api, "dumpproc: cannot rewrite " + paths.files);
+    return 1;
+  }
+  return 0;
+}
+
+// --- restart -----------------------------------------------------------------------
+
+int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host) {
+  std::string dir = "/usr/tmp";
+  if (!dump_host.empty() && dump_host != api.GetHostname()) {
+    dir = "/n/" + dump_host + "/usr/tmp";
+  }
+  const DumpPaths paths = DumpPaths::For(pid, dir);
+
+  // Verify that the three files exist and have the correct format.
+  {
+    const Result<int> fd = api.Open(paths.aout, OpenFlags::kORdOnly);
+    if (!fd.ok()) {
+      Complain(api, "restart: no " + paths.aout);
+      return 1;
+    }
+    const Result<std::string> head = api.Read(*fd, 4);
+    const Status closed = api.Close(*fd);
+    (void)closed;
+    if (!head.ok() || head->size() < 4 ||
+        (static_cast<uint8_t>((*head)[0]) | (static_cast<uint8_t>((*head)[1]) << 8)) !=
+            vm::kAoutMagic) {
+      Complain(api, "restart: bad executable magic in " + paths.aout);
+      return 1;
+    }
+  }
+  Result<StackFile> stack = LoadDumpFile<StackFile>(api, paths.stack);
+  if (!stack.ok()) {
+    Complain(api, "restart: bad or missing " + paths.stack);
+    return 1;
+  }
+  Result<FilesFile> files = LoadDumpFile<FilesFile>(api, paths.files);
+  if (!files.ok()) {
+    Complain(api, "restart: bad or missing " + paths.files);
+    return 1;
+  }
+
+  // Establish the old credentials as our own (the only thing read from
+  // stackXXXXX at user level).
+  const Status creds = api.SetReUid(stack->creds.uid, stack->creds.euid);
+  if (!creds.ok()) {
+    Complain(api, "restart: cannot assume uid " + std::to_string(stack->creds.uid));
+    return 1;
+  }
+
+  // The old current working directory.
+  if (!api.Chdir(files->cwd).ok()) {
+    const Status st = api.Chdir("/");
+    (void)st;
+  }
+
+  // Rebuild the fd table: close everything (including our own stdio), then reopen
+  // slot by slot so each file lands on its original descriptor number.
+  for (int fd = 0; fd < kernel::kNoFile; ++fd) {
+    const Status st = api.Close(fd);
+    (void)st;
+  }
+  std::array<bool, kernel::kNoFile> placeholder{};
+  for (int i = 0; i < kernel::kNoFile; ++i) {
+    const FilesEntry& entry = files->entries[static_cast<size_t>(i)];
+    int got = -1;
+    if (entry.kind == FilesEntry::Kind::kFile) {
+      // Correct access modes; never truncate or create on reopen.
+      const int32_t flags =
+          entry.flags & (vm::abi::kAccMode | OpenFlags::kOAppend);
+      const Result<int> fd = api.Open(entry.path, flags);
+      if (fd.ok()) {
+        got = *fd;
+        const Result<int64_t> pos = api.Lseek(got, entry.offset, vm::abi::kSeekSet);
+        (void)pos;  // pipes-turned-files etc. may refuse; offset is best effort
+      } else if (i < 3) {
+        // Stdio that cannot be reopened: the terminal, "so that the user may have
+        // some control over the restarted program".
+        const Result<int> tty = api.Open("/dev/tty", OpenFlags::kORdWr);
+        if (tty.ok()) got = *tty;
+      }
+    }
+    if (got < 0) {
+      // Unused slots, sockets, and unreopenable files: the null device, "so that
+      // the restarted process can find an open file where it expects one, and to
+      // preserve the order of open file numbers."
+      const Result<int> null_fd = api.Open("/dev/null", OpenFlags::kORdWr);
+      if (!null_fd.ok()) return 1;
+      got = *null_fd;
+      if (entry.kind == FilesEntry::Kind::kUnused) {
+        placeholder[static_cast<size_t>(i)] = true;
+      }
+    }
+    if (got != i) return 1;  // fd-table invariant broken; bail out
+  }
+  for (int i = 0; i < kernel::kNoFile; ++i) {
+    if (placeholder[static_cast<size_t>(i)]) {
+      const Status st = api.Close(i);
+      (void)st;
+    }
+  }
+
+  // The old terminal flags, applied to the current terminal — impossible under
+  // rsh (no controlling tty), which is exactly the visual-program limitation.
+  if (files->had_tty) {
+    const Result<int> tty = api.Open("/dev/tty", OpenFlags::kORdWr);
+    if (tty.ok()) {
+      const Status st = api.TtySetFlags(*tty, files->tty_flags);
+      (void)st;
+      const Status closed = api.Close(*tty);
+      (void)closed;
+    }
+  }
+
+  // rest_proc() — no return on success.
+  const Status st = api.RestProc(paths.aout, paths.stack);
+  (void)st;
+  return 1;
+}
+
+// --- migrate -----------------------------------------------------------------------
+
+int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string from_host,
+            std::string to_host, bool use_daemon) {
+  const std::string local = api.GetHostname();
+  if (from_host.empty()) from_host = local;
+  if (to_host.empty()) to_host = local;
+
+  auto run_local = [&api](const std::string& program,
+                          std::vector<std::string> args) -> int {
+    const Result<int32_t> pid_or = api.SpawnProgram(program, std::move(args));
+    if (!pid_or.ok()) return 127;
+    const Result<kernel::WaitResult> wr = api.Wait();
+    if (!wr.ok()) return 127;
+    return wr->overlaid ? 0 : wr->info.exit_code;
+  };
+  auto run_on = [&](const std::string& host, const std::string& program,
+                    std::vector<std::string> args) -> int {
+    if (host == local) return run_local(program, std::move(args));
+    const Result<int> rc = use_daemon
+                               ? net::DaemonExec(api, net, host, program, std::move(args))
+                               : net::Rsh(api, net, host, program, std::move(args));
+    return rc.ok() ? *rc : 127;
+  };
+
+  const std::string pid_str = std::to_string(pid);
+  int rc = run_on(from_host, "dumpproc", {"-p", pid_str});
+  if (rc != 0) {
+    Complain(api, "migrate: dumpproc on " + from_host + " failed (" + std::to_string(rc) + ")");
+    return rc;
+  }
+  rc = run_on(to_host, "restart", {"-p", pid_str, "-h", from_host});
+  if (rc != 0) {
+    Complain(api, "migrate: restart on " + to_host + " failed (" + std::to_string(rc) + ")");
+  }
+  return rc;
+}
+
+// --- undump ------------------------------------------------------------------------
+
+int Undump(kernel::SyscallApi& api, const std::string& aout_path,
+           const std::string& core_path, const std::string& output_path) {
+  const Result<int> afd = api.Open(aout_path, OpenFlags::kORdOnly);
+  if (!afd.ok()) {
+    Complain(api, "undump: cannot open " + aout_path);
+    return 1;
+  }
+  const Result<std::string> aout_bytes = api.ReadAll(*afd);
+  const Status ac = api.Close(*afd);
+  (void)ac;
+  if (!aout_bytes.ok()) return 1;
+  Result<vm::AoutImage> image =
+      vm::AoutImage::Parse(std::vector<uint8_t>(aout_bytes->begin(), aout_bytes->end()));
+  if (!image.ok()) {
+    Complain(api, "undump: " + aout_path + " is not an executable");
+    return 1;
+  }
+
+  const Result<int> cfd = api.Open(core_path, OpenFlags::kORdOnly);
+  if (!cfd.ok()) {
+    Complain(api, "undump: cannot open " + core_path);
+    return 1;
+  }
+  const Result<std::string> core_bytes = api.ReadAll(*cfd);
+  const Status cc = api.Close(*cfd);
+  (void)cc;
+  if (!core_bytes.ok()) return 1;
+  const Result<kernel::CoreFile> core = kernel::CoreFile::Parse(*core_bytes);
+  if (!core.ok()) {
+    Complain(api, "undump: " + core_path + " is not a core dump");
+    return 1;
+  }
+
+  image->data = core->data;  // statics take their values at the time of death
+  const std::vector<uint8_t> out = image->Serialize();
+  if (!WriteFileContents(api, output_path, std::string(out.begin(), out.end()), 0755).ok()) {
+    Complain(api, "undump: cannot write " + output_path);
+    return 1;
+  }
+  return 0;
+}
+
+// --- ps ----------------------------------------------------------------------------
+
+int PsMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {
+  const bool all = !args.empty() && args[0] == "-a";
+  std::string out = "  PID STAT KIND TIME(ms) COMMAND\n";
+  for (kernel::Proc* p : api.kernel().ListProcs()) {
+    if (!all && p->creds.uid == 0) continue;
+    const char* state = "?";
+    switch (p->state) {
+      case kernel::ProcState::kRunnable:
+        state = "R";
+        break;
+      case kernel::ProcState::kSleeping:
+        state = "S";
+        break;
+      case kernel::ProcState::kBlocked:
+        state = "B";
+        break;
+      case kernel::ProcState::kZombie:
+        state = "Z";
+        break;
+      case kernel::ProcState::kDead:
+        continue;
+    }
+    char line[160];
+    std::snprintf(line, sizeof(line), "%5d %4s %4s %8lld %s\n", p->pid, state,
+                  p->kind == kernel::ProcKind::kVm ? "vm" : "sys",
+                  static_cast<long long>(sim::ToMillis(p->utime + p->stime)),
+                  p->command.c_str());
+    out += line;
+  }
+  const Result<int64_t> n = api.Write(1, out);
+  return n.ok() ? 0 : 1;
+}
+
+// --- argv wrappers -----------------------------------------------------------------
+
+namespace {
+
+struct ParsedArgs {
+  int32_t pid = -1;
+  std::string h_host;
+  std::string f_host;
+  std::string t_host;
+  bool daemon = false;
+  std::vector<std::string> positional;
+  bool ok = true;
+};
+
+ParsedArgs ParseArgs(const std::vector<std::string>& args) {
+  ParsedArgs out;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> const std::string* {
+      if (i + 1 >= args.size()) {
+        out.ok = false;
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (a == "-p") {
+      if (const std::string* v = next()) out.pid = static_cast<int32_t>(std::atoi(v->c_str()));
+    } else if (a == "-h") {
+      if (const std::string* v = next()) out.h_host = *v;
+    } else if (a == "-f") {
+      if (const std::string* v = next()) out.f_host = *v;
+    } else if (a == "-t") {
+      if (const std::string* v = next()) out.t_host = *v;
+    } else if (a == "--daemon") {
+      out.daemon = true;
+    } else {
+      out.positional.push_back(a);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int DumpprocMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {
+  const ParsedArgs parsed = ParseArgs(args);
+  if (!parsed.ok || parsed.pid < 0) {
+    Complain(api, "usage: dumpproc -p pid");
+    return 2;
+  }
+  return Dumpproc(api, parsed.pid);
+}
+
+int RestartMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {
+  const ParsedArgs parsed = ParseArgs(args);
+  if (!parsed.ok || parsed.pid < 0) {
+    Complain(api, "usage: restart -p pid [-h host]");
+    return 2;
+  }
+  return Restart(api, parsed.pid, parsed.h_host);
+}
+
+int MigrateMain(kernel::SyscallApi& api, net::Network& net,
+                const std::vector<std::string>& args) {
+  const ParsedArgs parsed = ParseArgs(args);
+  if (!parsed.ok || parsed.pid < 0) {
+    Complain(api, "usage: migrate -p pid [-f host] [-t host] [--daemon]");
+    return 2;
+  }
+  return Migrate(api, net, parsed.pid, parsed.f_host, parsed.t_host, parsed.daemon);
+}
+
+int UndumpMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {
+  const ParsedArgs parsed = ParseArgs(args);
+  if (!parsed.ok || parsed.positional.size() != 3) {
+    Complain(api, "usage: undump a.out core output");
+    return 2;
+  }
+  return Undump(api, parsed.positional[0], parsed.positional[1], parsed.positional[2]);
+}
+
+}  // namespace pmig::core

@@ -1,0 +1,67 @@
+// The user-level migration commands (Section 4): dumpproc, restart, migrate — plus
+// the undump utility the dump format gives "for free".
+//
+// Each is an ordinary native program built only on SyscallApi (the public syscall
+// surface), exactly as the paper implements them on top of SIGDUMP + rest_proc().
+// The *Main wrappers parse command-line style arguments so the tools can be
+// launched by name through rsh and the migration daemon.
+
+#ifndef PMIG_SRC_CORE_TOOLS_H_
+#define PMIG_SRC_CORE_TOOLS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/dump_format.h"
+#include "src/kernel/kernel.h"
+#include "src/net/network.h"
+
+namespace pmig::core {
+
+// Userland realpath: resolves every symbolic link in `path` with readlink(),
+// iteratively, as Section 4.3 prescribes for dump-file rewriting. Does not require
+// the final component to exist if the parent chain does.
+Result<std::string> Realpath(kernel::SyscallApi& api, const std::string& path);
+
+// The Section 4.4 rewriting dumpproc applies to a filesXXXXX image: resolve every
+// symbolic link, turn terminals into /dev/tty, and prepend /n/<thishost> to local
+// paths so they can be reopened from any machine. Runs on the machine the process
+// was dumped on. Exposed for alternative migration transports (see precopy.h).
+void RewriteFilesForMigration(kernel::SyscallApi& api, FilesFile* files);
+
+// dumpproc -p <pid>: SIGDUMPs the process, then rewrites filesXXXXX — resolving
+// symlinks, turning terminals into /dev/tty, and prepending /n/<thishost> to local
+// paths so the files can be reopened from any machine. Returns 0 on success.
+int Dumpproc(kernel::SyscallApi& api, int32_t pid);
+
+// restart -p <pid> [-h <host>]: restores a dumped process on this machine, at this
+// terminal. `dump_host` empty means the dump is local. Does not return on success
+// (the calling process is overlaid); returns nonzero on failure.
+int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host);
+
+// migrate -p <pid> [-f <host>] [-t <host>]: dumpproc + restart, via rsh when either
+// end is remote. With `use_daemon`, remote ends go through the migration daemon
+// (the Section 6.4 improvement) instead of rsh.
+int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string from_host,
+            std::string to_host, bool use_daemon = false);
+
+// undump <a.out> <core> <output>: combines an executable and a core dump into a new
+// executable whose static data is the core's.
+int Undump(kernel::SyscallApi& api, const std::string& aout_path,
+           const std::string& core_path, const std::string& output_path);
+
+// ps: lists processes on this machine (pid, state, times, command). Takes an
+// optional "-a" to include system (root) processes.
+int PsMain(kernel::SyscallApi& api, const std::vector<std::string>& args);
+
+// Argument-parsing entry points for the program registry ("/usr/local/bin").
+int DumpprocMain(kernel::SyscallApi& api, const std::vector<std::string>& args);
+int RestartMain(kernel::SyscallApi& api, const std::vector<std::string>& args);
+// MigrateMain needs the network; bound at registration time (see setup.h).
+int MigrateMain(kernel::SyscallApi& api, net::Network& net,
+                const std::vector<std::string>& args);
+int UndumpMain(kernel::SyscallApi& api, const std::vector<std::string>& args);
+
+}  // namespace pmig::core
+
+#endif  // PMIG_SRC_CORE_TOOLS_H_

@@ -1,0 +1,31 @@
+#include "src/kernel/core_file.h"
+
+#include "src/sim/bytes.h"
+
+namespace pmig::kernel {
+
+std::string CoreFile::Serialize() const {
+  sim::ByteWriter w;
+  w.U32(kCoreMagic);
+  for (const int64_t reg : cpu.regs) w.I64(reg);
+  w.U32(cpu.pc);
+  w.U32(cpu.sp);
+  w.Blob(data);
+  w.Blob(stack);
+  return w.Take();
+}
+
+Result<CoreFile> CoreFile::Parse(const std::string& bytes) {
+  sim::ByteReader r(bytes);
+  if (r.U32() != kCoreMagic) return Errno::kNoExec;
+  CoreFile core;
+  for (int64_t& reg : core.cpu.regs) reg = r.I64();
+  core.cpu.pc = r.U32();
+  core.cpu.sp = r.U32();
+  core.data = r.Blob();
+  core.stack = r.Blob();
+  if (!r.ok()) return Errno::kNoExec;
+  return core;
+}
+
+}  // namespace pmig::kernel

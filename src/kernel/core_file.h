@@ -1,0 +1,35 @@
+// The classic `core` file written by SIGQUIT and friends.
+//
+// SIGDUMP's implementation is "similar to that of ... SIGQUIT, which causes a
+// process to terminate (dumping a subset of the information we dump for our new
+// signal) in a file named core" (Section 5.2). The subset here: registers, data
+// segment, stack — but not the text, not the open-file names, and not the signal
+// state, which is exactly why a core file alone cannot restart a process while the
+// three SIGDUMP files can. The paper's `undump` trick (executable + core -> new
+// executable) is implemented in src/core/tools.cc on top of this format.
+
+#ifndef PMIG_SRC_KERNEL_CORE_FILE_H_
+#define PMIG_SRC_KERNEL_CORE_FILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/result.h"
+#include "src/vm/cpu.h"
+
+namespace pmig::kernel {
+
+constexpr uint32_t kCoreMagic = 0420;  // octal, arbitrary like the paper's 0444/0445
+
+struct CoreFile {
+  vm::CpuState cpu;
+  std::vector<uint8_t> data;
+  std::vector<uint8_t> stack;  // bytes from sp to kStackTop
+
+  std::string Serialize() const;
+  static Result<CoreFile> Parse(const std::string& bytes);
+};
+
+}  // namespace pmig::kernel
+
+#endif  // PMIG_SRC_KERNEL_CORE_FILE_H_

@@ -1,0 +1,66 @@
+#include "src/kernel/native.h"
+
+#include <utility>
+
+namespace pmig::kernel {
+
+NativeTask::~NativeTask() {
+  if (thread_.joinable()) {
+    if (!finished_) {
+      RequestKill();
+      while (!finished_) {
+        Resume();
+      }
+    }
+    thread_.join();
+  }
+}
+
+void NativeTask::Start(Entry entry, SyscallApi* api) {
+  thread_ = std::thread([this, entry = std::move(entry), api]() {
+    AwaitTurn();
+    int code = 0;
+    try {
+      if (kill_requested_) throw KilledSignal{};
+      code = entry(*api);
+    } catch (const ExitRequest& e) {
+      code = e.code;
+    } catch (const KilledSignal&) {
+      was_killed_ = true;
+    } catch (const BecameVm&) {
+      became_vm_ = true;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    exit_code_ = code;
+    finished_ = true;
+    turn_ = Turn::kScheduler;
+    cv_.notify_all();
+  });
+}
+
+void NativeTask::Resume() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (finished_) return;
+  turn_ = Turn::kTask;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return turn_ == Turn::kScheduler; });
+}
+
+void NativeTask::Yield() {
+  HandToScheduler();
+  if (kill_requested_) throw KilledSignal{};
+}
+
+void NativeTask::HandToScheduler() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  turn_ = Turn::kScheduler;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return turn_ == Turn::kTask; });
+}
+
+void NativeTask::AwaitTurn() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return turn_ == Turn::kTask; });
+}
+
+}  // namespace pmig::kernel

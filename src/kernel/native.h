@@ -1,0 +1,88 @@
+// Native-process execution: C++ callables run as simulated processes.
+//
+// The migration tools (dumpproc, restart, migrate), shells, and daemons are native
+// programs: ordinary C++ functions that talk to the kernel through SyscallApi. Each
+// runs on its own host thread, but the simulation is strictly single-threaded in
+// effect: exactly one thread (the scheduler's or one task's) is ever runnable, and
+// control passes by explicit handoff. The scheduler parks inside Resume() while the
+// task runs; the task parks inside Yield() (called from blocking syscalls) while
+// the rest of the simulation runs. No kernel data is ever touched concurrently.
+//
+// A native task ends in one of four ways, all by unwinding its thread:
+//   * its entry function returns an exit code;
+//   * it calls SyscallApi::Exit (ExitRequest unwinds to the trampoline);
+//   * it is killed (RequestKill; KilledSignal unwinds at the next yield point);
+//   * it calls rest_proc() successfully: the *process* lives on as a VM process,
+//     only the C++ thread unwinds (BecameVm).
+
+#ifndef PMIG_SRC_KERNEL_NATIVE_H_
+#define PMIG_SRC_KERNEL_NATIVE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace pmig::kernel {
+
+class SyscallApi;
+
+// Unwind tokens. These deliberately do not derive from std::exception: nothing may
+// catch them except the trampoline.
+struct ExitRequest {
+  int code;
+};
+struct KilledSignal {};
+struct BecameVm {};
+
+class NativeTask {
+ public:
+  using Entry = std::function<int(SyscallApi&)>;
+
+  NativeTask() = default;
+  ~NativeTask();
+
+  NativeTask(const NativeTask&) = delete;
+  NativeTask& operator=(const NativeTask&) = delete;
+
+  // Launches the thread; the entry function does not run until the first Resume().
+  void Start(Entry entry, SyscallApi* api);
+
+  // Scheduler side: hands the turn to the task; returns when the task yields or
+  // finishes. Must not be called after finished().
+  void Resume();
+
+  // Task side (only from within syscalls): hands the turn back to the scheduler;
+  // returns when resumed. Throws KilledSignal if a kill was requested meanwhile.
+  void Yield();
+
+  // Scheduler side: arranges for the task to unwind at its next resume.
+  void RequestKill() { kill_requested_ = true; }
+
+  bool finished() const { return finished_; }
+  bool became_vm() const { return became_vm_; }
+  bool was_killed() const { return was_killed_; }
+  int exit_code() const { return exit_code_; }
+
+ private:
+  enum class Turn { kScheduler, kTask };
+
+  void HandToScheduler();
+  void AwaitTurn();
+
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  Turn turn_ = Turn::kScheduler;
+
+  std::atomic<bool> kill_requested_{false};
+  std::atomic<bool> finished_{false};
+  bool became_vm_ = false;
+  bool was_killed_ = false;
+  int exit_code_ = 0;
+};
+
+}  // namespace pmig::kernel
+
+#endif  // PMIG_SRC_KERNEL_NATIVE_H_

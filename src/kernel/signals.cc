@@ -1,0 +1,217 @@
+// Signal posting and delivery, including the two dumping terminations:
+// SIGQUIT-style core dumps and the paper's SIGDUMP migration dump.
+
+#include <cassert>
+
+#include "src/kernel/core_file.h"
+#include "src/kernel/kernel.h"
+
+namespace pmig::kernel {
+
+namespace {
+
+using vm::abi::Sig;
+
+bool DefaultActionDumpsCore(int signo) {
+  return signo == Sig::kSigQuit || signo == Sig::kSigIll || signo == Sig::kSigFpe ||
+         signo == Sig::kSigSegv;
+}
+
+bool DefaultActionIgnores(int signo) { return signo == Sig::kSigChld; }
+
+// SIGKILL and SIGDUMP always take their default action (SIGDUMP must be reliable
+// for the migration tools, so like SIGKILL it cannot be caught or ignored).
+bool Unblockable(int signo) { return signo == Sig::kSigKill || signo == Sig::kSigDump; }
+
+}  // namespace
+
+Status Kernel::PostSignal(int32_t pid, int signo, Proc* sender) {
+  if (signo <= 0 || signo >= vm::abi::kNSig) return Errno::kInval;
+  Proc* target = FindProc(pid);
+  if (target == nullptr || !target->Alive()) return Errno::kSrch;
+  ++stats_.signals_posted;
+  target->sig_pending |= (uint64_t{1} << signo);
+  Trace(sim::TraceCategory::kSignal, pid,
+        "signal " + std::to_string(signo) + " posted" +
+            (sender != nullptr ? " by pid " + std::to_string(sender->pid) : ""));
+  return Status::Ok();
+}
+
+void Kernel::DeliverPendingSignals() {
+  for (size_t i = 0; i < procs_.size(); ++i) {
+    Proc& p = *procs_[i];
+    if (!p.Alive() || p.sig_pending == 0) continue;
+    for (int signo = 1; signo < vm::abi::kNSig && p.Alive(); ++signo) {
+      const uint64_t bit = uint64_t{1} << signo;
+      if ((p.sig_pending & bit) == 0) continue;
+      SignalDisposition d = p.sig_dispositions[static_cast<size_t>(signo)];
+      if (Unblockable(signo)) d.action = SignalDisposition::Action::kDefault;
+      switch (d.action) {
+        case SignalDisposition::Action::kIgnore:
+          p.sig_pending &= ~bit;
+          break;
+        case SignalDisposition::Action::kCatch:
+          if (p.kind == ProcKind::kVm) {
+            // Left pending; RunVmProc delivers to the user handler. A blocked
+            // process is woken so the handler runs now — its pc was rewound onto
+            // the SYS instruction when it blocked, so the interrupted call
+            // restarts afterwards (BSD restartable-syscall semantics).
+            if (p.state == ProcState::kBlocked) {
+              p.state = ProcState::kRunnable;
+              p.unblock_check = nullptr;
+            }
+          } else {
+            // Native (tool) processes have no user-mode handlers.
+            p.sig_pending &= ~bit;
+          }
+          break;
+        case SignalDisposition::Action::kDefault:
+          if (DefaultActionIgnores(signo)) {
+            p.sig_pending &= ~bit;
+          } else {
+            p.sig_pending &= ~bit;
+            DeliverSignal(p, signo);
+          }
+          break;
+      }
+    }
+  }
+}
+
+void Kernel::DeliverSignal(Proc& p, int signo) {
+  Trace(sim::TraceCategory::kSignal, p.pid, "delivering fatal signal " + std::to_string(signo));
+  if (p.kind == ProcKind::kNative) {
+    p.exit_info = ExitInfo{};
+    p.exit_info.killed_by_signal = signo;
+    p.sig_pending = 0;
+    if (p.wake_timer != 0) {
+      clock_->CancelTimer(p.wake_timer);
+      p.wake_timer = 0;
+    }
+    if (p.native != nullptr) {
+      p.native->RequestKill();
+      // Make it runnable so the scheduler resumes (and thereby unwinds) it.
+      p.state = ProcState::kRunnable;
+      p.unblock_check = nullptr;
+    } else {
+      ExitInfo info = p.exit_info;
+      TerminateProc(p, info);
+    }
+    return;
+  }
+  // VM processes.
+  if (signo == Sig::kSigDump) {
+    StartMigrationDump(p);
+  } else if (DefaultActionDumpsCore(signo)) {
+    StartCoreDump(p, signo);
+  } else {
+    ExitInfo info;
+    info.killed_by_signal = signo;
+    TerminateProc(p, info);
+  }
+}
+
+void Kernel::StartMigrationDump(Proc& p) {
+  assert(p.kind == ProcKind::kVm);
+  p.sig_pending = 0;
+  if (!hooks_.sigdump) {
+    // Kernel without the migration additions: SIGDUMP just kills.
+    ExitInfo info;
+    info.killed_by_signal = Sig::kSigDump;
+    TerminateProc(p, info);
+    return;
+  }
+  Result<PreparedDump> prepared = hooks_.sigdump(*this, p);
+  if (!prepared.ok()) {
+    Trace(sim::TraceCategory::kMigration, p.pid,
+          std::string("SIGDUMP failed: ") + std::string(ErrnoName(prepared.error())));
+    ExitInfo info;
+    info.killed_by_signal = Sig::kSigDump;
+    TerminateProc(p, info);
+    return;
+  }
+  ChargeCpu(p, prepared->cpu);
+  // The dying process spends (cpu + wait) producing the three files; they become
+  // visible — and the process exits — when the dump completes. This is why
+  // dumpproc has to poll for a.outXXXXX (Section 6.2).
+  if (p.wake_timer != 0) clock_->CancelTimer(p.wake_timer);
+  p.state = ProcState::kSleeping;
+  p.unblock_check = nullptr;
+  const int32_t pid = p.pid;
+  Trace(sim::TraceCategory::kMigration, pid, "SIGDUMP: dumping process state");
+  p.wake_timer = clock_->CallAfter(
+      prepared->cpu + prepared->wait, [this, pid, files = std::move(prepared->files)] {
+        Proc* proc = FindProc(pid);
+        if (proc == nullptr || proc->state != ProcState::kSleeping) return;  // killed
+        proc->wake_timer = 0;
+        for (const auto& [path, contents] : files) {
+          vfs_->SetupCreateFile(path, contents, proc->creds.uid, 0600);  // owner-only: the
+          // restart permission model rests on dump-file access
+          Trace(sim::TraceCategory::kMigration, pid, "dump file " + path);
+        }
+        ExitInfo info;
+        info.killed_by_signal = Sig::kSigDump;
+        info.migration_dumped = true;
+        TerminateProc(*proc, info);
+      });
+}
+
+void Kernel::StartCoreDump(Proc& p, int signo) {
+  assert(p.kind == ProcKind::kVm);
+  p.sig_pending = 0;
+  CoreFile core;
+  core.cpu = p.vm->cpu;
+  core.data = p.vm->data;
+  core.stack = p.vm->StackContents();
+  std::string bytes = core.Serialize();
+
+  const auto io = costs_->DiskIo(static_cast<int64_t>(bytes.size()));
+  const sim::Nanos cpu_cost =
+      io.cpu + costs_->file_table_slot + costs_->namei_component + costs_->syscall_entry;
+  ChargeCpu(p, cpu_cost);
+
+  // Write "core" in the process's current directory when the I/O completes.
+  vfs::InodePtr dir = p.cwd.empty() ? fs_->root() : p.cwd.dir();
+  if (p.wake_timer != 0) clock_->CancelTimer(p.wake_timer);
+  p.state = ProcState::kSleeping;
+  p.unblock_check = nullptr;
+  const int32_t pid = p.pid;
+  p.wake_timer = clock_->CallAfter(
+      cpu_cost + io.wait, [this, pid, signo, dir, bytes = std::move(bytes)] {
+        Proc* proc = FindProc(pid);
+        if (proc == nullptr || proc->state != ProcState::kSleeping) return;
+        proc->wake_timer = 0;
+        dir->entries.erase("core");
+        vfs::Filesystem* owner = dir->fs;
+        vfs::InodePtr file = owner->NewRegular(proc->creds.uid, 0600);
+        file->data = bytes;
+        const Status st = owner->Link(dir, "core", file);
+        (void)st;
+        ExitInfo info;
+        info.killed_by_signal = signo;
+        info.core_dumped = true;
+        TerminateProc(*proc, info);
+      });
+  Trace(sim::TraceCategory::kSignal, pid, "dumping core (signal " + std::to_string(signo) + ")");
+}
+
+void Kernel::VmFault(Proc& p, vm::Fault fault) {
+  int signo;
+  switch (fault) {
+    case vm::Fault::kIllegalInstruction:
+    case vm::Fault::kIsaViolation:
+      signo = Sig::kSigIll;
+      break;
+    case vm::Fault::kDivideByZero:
+      signo = Sig::kSigFpe;
+      break;
+    default:
+      signo = Sig::kSigSegv;
+      break;
+  }
+  Trace(sim::TraceCategory::kSignal, p.pid,
+        std::string("fault: ") + std::string(vm::FaultName(fault)));
+  StartCoreDump(p, signo);
+}
+
+}  // namespace pmig::kernel

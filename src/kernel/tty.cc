@@ -1,0 +1,53 @@
+#include "src/kernel/tty.h"
+
+#include <algorithm>
+
+namespace pmig::kernel {
+
+void Tty::Type(std::string_view text) {
+  for (char c : text) {
+    if ((flags_ & vm::abi::kTtyCrMod) != 0 && c == '\r') c = '\n';
+    input_.push_back(c);
+  }
+  if (echo() && !raw()) {
+    AppendOutput(text);
+  }
+}
+
+bool Tty::InputReady() const {
+  if (input_.empty()) return false;
+  if (raw() || cbreak()) return true;
+  return std::find(input_.begin(), input_.end(), '\n') != input_.end();
+}
+
+std::string Tty::ConsumeInput(int64_t max) {
+  std::string out;
+  if (max <= 0) return out;
+  if (raw() || cbreak()) {
+    while (!input_.empty() && static_cast<int64_t>(out.size()) < max) {
+      out.push_back(input_.front());
+      input_.pop_front();
+    }
+    return out;
+  }
+  // Cooked: return up to one line.
+  while (!input_.empty() && static_cast<int64_t>(out.size()) < max) {
+    const char c = input_.front();
+    input_.pop_front();
+    out.push_back(c);
+    if (c == '\n') break;
+  }
+  return out;
+}
+
+void Tty::AppendOutput(std::string_view text) {
+  for (const char c : text) {
+    if (!raw() && (flags_ & vm::abi::kTtyCrMod) != 0 && c == '\n') {
+      output_ += "\r\n";
+    } else {
+      output_.push_back(c);
+    }
+  }
+}
+
+}  // namespace pmig::kernel

@@ -1,0 +1,54 @@
+#include "src/net/migration_daemon.h"
+
+#include <utility>
+
+namespace pmig::net {
+
+int MigrationDaemonMain(kernel::SyscallApi& api, SpawnService* service) {
+  for (;;) {
+    api.BlockUntil([service] { return service->HasPending(); });
+    SpawnService::RequestPtr req = service->Pop();
+    if (req == nullptr) continue;
+
+    // The fork/setuid/exec dance a real root daemon performs for the requester.
+    kernel::SpawnOptions opts;
+    opts.creds = req->creds;
+    opts.tty = nullptr;
+    opts.cwd = "/";
+    opts.ppid = api.GetPid();
+    const Result<int32_t> pid = api.kernel().SpawnProgram(req->program, req->args, opts);
+    if (!pid.ok()) {
+      req->spawn_failed = true;
+      req->done = true;
+      continue;
+    }
+    const Result<kernel::WaitResult> wr = api.Wait();
+    req->exit_code = wr.ok() ? (wr->overlaid ? 0 : wr->info.exit_code) : -1;
+    req->done = true;
+  }
+}
+
+Result<int> DaemonExec(kernel::SyscallApi& api, Network& net, std::string_view host,
+                       const std::string& program, std::vector<std::string> args) {
+  SpawnService* service = net.FindSpawnService(host);
+  if (service == nullptr) return Errno::kHostUnreach;
+  if (kernel::Kernel* remote = net.FindHost(host);
+      remote == nullptr || remote->down()) {
+    return Errno::kHostUnreach;
+  }
+
+  // TCP connect + request marshalling to the well-known port: cheap, unlike rsh.
+  api.Sleep(net.costs().daemon_request);
+
+  auto req = std::make_shared<SpawnService::Request>();
+  req->program = program;
+  req->args = std::move(args);
+  req->creds = kernel::Credentials{api.GetUid(), 0, api.GetEuid(), 0};
+  service->Push(req);
+
+  api.BlockUntil([req] { return req->done; });
+  if (req->spawn_failed) return Errno::kNoEnt;
+  return req->exit_code;
+}
+
+}  // namespace pmig::net

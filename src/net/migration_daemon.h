@@ -1,0 +1,64 @@
+// The Section 6.4 improvement: a resident daemon on a well-known port.
+//
+// "...it is always possible to write a better application which, by use of a UNIX
+// daemon process and a well known port can achieve more satisfactory results:
+// instead of using rsh to start processes remotely, applications will simply send
+// messages to the daemon, who will start the processes on their behalf."
+//
+// SpawnService is the well-known port (a request queue); MigrationDaemonMain is the
+// daemon program that serves it, spawning requested programs under the requester's
+// credentials and reporting their exit status. DaemonExec is the client side. The
+// only cost difference from rsh is connection establishment: daemon_request versus
+// rsh_setup — which is the entire point of the ablation bench.
+
+#ifndef PMIG_SRC_NET_MIGRATION_DAEMON_H_
+#define PMIG_SRC_NET_MIGRATION_DAEMON_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/net/network.h"
+
+namespace pmig::net {
+
+class SpawnService {
+ public:
+  struct Request {
+    std::string program;
+    std::vector<std::string> args;
+    kernel::Credentials creds;
+    // Filled in by the daemon:
+    bool done = false;
+    bool spawn_failed = false;
+    int exit_code = -1;
+  };
+  using RequestPtr = std::shared_ptr<Request>;
+
+  void Push(RequestPtr request) { queue_.push_back(std::move(request)); }
+  RequestPtr Pop() {
+    if (queue_.empty()) return nullptr;
+    RequestPtr r = std::move(queue_.front());
+    queue_.pop_front();
+    return r;
+  }
+  bool HasPending() const { return !queue_.empty(); }
+
+ private:
+  std::deque<RequestPtr> queue_;
+};
+
+// Daemon program: serves requests forever. Runs as root so it can spawn programs
+// under the requester's credentials.
+int MigrationDaemonMain(kernel::SyscallApi& api, SpawnService* service);
+
+// Client side: runs `program args...` on `host` through its migration daemon.
+// Blocks until the command completes (or is overlaid); returns its exit code.
+Result<int> DaemonExec(kernel::SyscallApi& api, Network& net, std::string_view host,
+                       const std::string& program, std::vector<std::string> args);
+
+}  // namespace pmig::net
+
+#endif  // PMIG_SRC_NET_MIGRATION_DAEMON_H_

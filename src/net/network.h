@@ -1,0 +1,55 @@
+// The Ethernet: host registry and transfer-cost model.
+//
+// The paper's machines share a 10 Mbit Ethernet (Section 3). File access across
+// machines goes through NFS (costed in the VFS layer via inode remoteness); this
+// class provides host lookup and raw transfer timing for the remote-execution
+// services (rsh, migration daemon) that move command output and dump data around.
+
+#ifndef PMIG_SRC_NET_NETWORK_H_
+#define PMIG_SRC_NET_NETWORK_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/sim/cost_model.h"
+
+namespace pmig::net {
+
+class SpawnService;
+
+class Network {
+ public:
+  explicit Network(const sim::CostModel* costs) : costs_(costs) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  void AddHost(kernel::Kernel* host) { hosts_.push_back(host); }
+  kernel::Kernel* FindHost(std::string_view name);
+  const std::vector<kernel::Kernel*>& hosts() const { return hosts_; }
+
+  // One-way time to move `bytes` across the wire (latency + serialisation).
+  sim::Nanos TransferTime(int64_t bytes) const {
+    return costs_->nfs_rpc / 2 + bytes * costs_->net_per_byte;
+  }
+
+  const sim::CostModel& costs() const { return *costs_; }
+
+  // Well-known-port registry for the Section 6.4 migration daemons.
+  void RegisterSpawnService(const std::string& hostname, SpawnService* service) {
+    spawn_services_[hostname] = service;
+  }
+  SpawnService* FindSpawnService(std::string_view hostname);
+
+ private:
+  const sim::CostModel* costs_;
+  std::vector<kernel::Kernel*> hosts_;
+  std::map<std::string, SpawnService*, std::less<>> spawn_services_;
+};
+
+}  // namespace pmig::net
+
+#endif  // PMIG_SRC_NET_NETWORK_H_

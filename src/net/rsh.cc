@@ -1,0 +1,72 @@
+#include "src/net/rsh.h"
+
+#include <memory>
+#include <utility>
+
+namespace pmig::net {
+
+Result<int> Rsh(kernel::SyscallApi& api, Network& net, std::string_view host,
+                const std::string& program, std::vector<std::string> args) {
+  kernel::Kernel* remote = net.FindHost(host);
+  if (remote == nullptr || remote->down()) return Errno::kHostUnreach;
+
+  // Connection establishment: privileged port, reverse lookup, hosts.equiv, rshd
+  // fork. Pure real time — the caller's CPU is idle.
+  api.Sleep(net.costs().rsh_setup);
+
+  // The remote command gets a network pipe for stdio, not a terminal.
+  auto stdin_ch = std::make_shared<kernel::Channel>();
+  stdin_ch->write_open = false;  // immediate EOF, like `rsh host cmd < /dev/null`
+  auto stdout_ch = std::make_shared<kernel::Channel>();
+
+  kernel::SpawnOptions opts;
+  opts.creds = kernel::Credentials{api.GetUid(), 0, api.GetEuid(), 0};
+  opts.tty = nullptr;
+  opts.cwd = "/";
+  opts.ppid = 0;  // child of the (unmodelled) remote rshd
+  const Result<int32_t> pid_or = remote->SpawnProgram(program, std::move(args), opts);
+  if (!pid_or.ok()) return pid_or.error();
+  const int32_t rpid = *pid_or;
+
+  kernel::Proc* rproc = remote->FindProc(rpid);
+  if (rproc != nullptr) {
+    remote->InstallFd(*rproc, 0,
+                      kernel::Kernel::MakeChannelFile(stdin_ch, /*write_end=*/false,
+                                                      kernel::FileKind::kSocket));
+    kernel::OpenFilePtr out = kernel::Kernel::MakeChannelFile(
+        stdout_ch, /*write_end=*/true, kernel::FileKind::kSocket);
+    remote->InstallFd(*rproc, 1, out);
+    remote->InstallFd(*rproc, 2, out);
+  }
+
+  // Wait for remote completion (exit, or overlay by rest_proc()).
+  api.BlockUntil([remote, rpid] {
+    kernel::Proc* p = remote->FindAnyProc(rpid);
+    if (p == nullptr) return true;
+    return !p->Alive() || p->overlaid;
+  });
+
+  int exit_code = 0;
+  bool overlaid = false;
+  if (kernel::Proc* p = remote->FindAnyProc(rpid); p != nullptr) {
+    overlaid = p->overlaid || (p->Alive() && p->kind == kernel::ProcKind::kVm);
+    if (!p->Alive()) exit_code = p->exit_info.exit_code;
+    if (p->overlaid) {
+      p->overlaid = false;
+      p->ppid = 0;  // detaches from the rsh session; keeps running remotely
+    }
+  }
+  (void)overlaid;
+
+  // Carry the remote output home and deliver it to the caller's stdout.
+  const std::string output = std::move(stdout_ch->buffer);
+  stdout_ch->buffer.clear();
+  if (!output.empty()) {
+    api.Sleep(net.TransferTime(static_cast<int64_t>(output.size())));
+    const Result<int64_t> written = api.Write(1, output);
+    (void)written;  // a closed stdout is the caller's problem, as with real rsh
+  }
+  return exit_code;
+}
+
+}  // namespace pmig::net

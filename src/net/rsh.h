@@ -1,0 +1,35 @@
+// The remote shell, as the migrate application uses it.
+//
+// "Migrate has been implemented by executing the other two applications internally,
+// by means of the UNIX remote shell facility rsh ... Rsh requires a lot of time to
+// establish a connection with another machine" (Section 6.4). The connection-setup
+// cost (CostModel::rsh_setup) dominates Figure 4's remote cases.
+//
+// Fidelity points modelled here:
+//   * the remote command runs with NO controlling terminal — its stdio is a network
+//     pipe — so restart-under-rsh cannot reopen /dev/tty or preserve raw/noecho
+//     modes (the Section 4.1 limitation for visual programs);
+//   * the remote command's output is carried back over the wire and written to the
+//     caller's stdout, paying per-byte transfer time;
+//   * a remote command that is overlaid by rest_proc() counts as completed — the
+//     restarted process keeps running on the remote host after rsh returns.
+
+#ifndef PMIG_SRC_NET_RSH_H_
+#define PMIG_SRC_NET_RSH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/net/network.h"
+
+namespace pmig::net {
+
+// Runs `program args...` on `host` under the caller's credentials; blocks until the
+// remote command exits (or is overlaid). Returns its exit code.
+Result<int> Rsh(kernel::SyscallApi& api, Network& net, std::string_view host,
+                const std::string& program, std::vector<std::string> args);
+
+}  // namespace pmig::net
+
+#endif  // PMIG_SRC_NET_RSH_H_

@@ -1,0 +1,46 @@
+#include "src/sim/clock.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pmig::sim {
+
+void VirtualClock::Advance(Nanos delta) {
+  const Nanos target = now_ + delta;
+  while (!timers_.empty() && timers_.top().deadline <= target) {
+    // priority_queue::top is const; move via const_cast is UB, so copy the function
+    // out before popping. Timer functions are small (bound lambdas), this is cold.
+    Timer t = timers_.top();
+    timers_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), t.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    --live_timers_;
+    now_ = std::max(now_, t.deadline);
+    t.fn();
+  }
+  now_ = std::max(now_, target);
+}
+
+uint64_t VirtualClock::CallAt(Nanos deadline, std::function<void()> fn) {
+  const uint64_t id = next_id_++;
+  timers_.push(Timer{std::max(deadline, now_), next_seq_++, id, std::move(fn)});
+  ++live_timers_;
+  return id;
+}
+
+void VirtualClock::CancelTimer(uint64_t id) {
+  cancelled_.push_back(id);
+  --live_timers_;
+}
+
+Nanos VirtualClock::NextDeadline() const {
+  // Cancelled timers may shadow the top of the queue; this is only used as a skip
+  // hint, so a conservative (too early) answer is harmless.
+  if (live_timers_ <= 0) return -1;
+  return timers_.empty() ? -1 : timers_.top().deadline;
+}
+
+}  // namespace pmig::sim

@@ -1,0 +1,5 @@
+#include "src/sim/cost_model.h"
+
+// CostModel is a plain aggregate of calibrated constants; the helpers are inline.
+// This translation unit exists so the module has a home for future non-inline logic
+// (e.g. loading calibration overrides) and to give the header a compile check.

@@ -1,0 +1,123 @@
+// The virtual-time cost model.
+//
+// Every simulated activity — executing a VM instruction, trapping into the kernel,
+// walking a path component, allocating kernel memory, copying bytes, writing a disk
+// block, crossing the Ethernet — advances virtual time by an amount computed from
+// these unit costs. The figures in the paper's evaluation are *ratios* (normalised to
+// SIGQUIT, execve(), or the local/local migration case); those ratios must emerge
+// from the amount of modelled work each operation performs, not from hard-coded
+// factors. The unit costs below are calibrated to 1987 Sun-2/Sun-3 magnitudes so the
+// absolute numbers are also plausible: the paper reports ~0.6 s to SIGDUMP its test
+// program, <0.2 s to execve() it, and rsh connection setup that pushes a
+// remote-to-remote migrate to "almost half a minute".
+
+#ifndef PMIG_SRC_SIM_COST_MODEL_H_
+#define PMIG_SRC_SIM_COST_MODEL_H_
+
+#include "src/sim/time.h"
+
+namespace pmig::sim {
+
+struct CostModel {
+  // --- CPU ---------------------------------------------------------------------
+  // A Sun-2 (MC68010, 10 MHz) ran at roughly 0.7 MIPS; 2 us/instruction is within
+  // range for the memory-touching mix our VM executes.
+  Nanos instruction = Micros(2);
+  // Trap + register save/restore + dispatch for entering any system call.
+  Nanos syscall_entry = Micros(120);
+  // Scheduler context switch (pick next proc, swap u. area mappings).
+  Nanos context_switch = Micros(400);
+
+  // --- Kernel memory and string work (the Section 5.1 modifications) ------------
+  // kmem_alloc()/kmem_free() for the dynamically allocated file-name strings.
+  Nanos kmem_alloc = Micros(230);
+  Nanos kmem_free = Micros(60);
+  // Copying one byte of a path name into/out of kernel space (copyin/copyout and
+  // string assembly are byte loops on a 68010).
+  Nanos name_copy_per_byte = Micros(5);
+  // Fixed cost of splicing a relative name onto the saved current-directory string
+  // (scan for trailing slash, handle "." / ".." components).
+  Nanos name_combine = Micros(180);
+
+  // --- Filesystem --------------------------------------------------------------
+  // namei(): directory search per path component (inode cache hit).
+  Nanos namei_component = Micros(220);
+  // Allocating a system file-table slot + in-core inode reference.
+  Nanos file_table_slot = Micros(90);
+  // Reading the target of a symbolic link (it is a tiny file).
+  Nanos readlink = Micros(350);
+  // Disk: 1 KB filesystem blocks. A Fujitsu Eagle-era disk gives a few ms per block
+  // once seek amortisation is counted. Block transfers block the caller in real time
+  // (the CPU is free); the per-byte copy below is CPU.
+  int64_t disk_block_bytes = 1024;
+  Nanos disk_block_latency = Millis(35);
+  Nanos buffer_copy_per_byte = 300;  // bcopy() through the buffer cache
+  // CPU burned in the filesystem block layer per block written/read (allocation
+  // maps, buffer headers, checksums of the era's FS code paths).
+  Nanos disk_block_cpu = Millis(5);
+  // CPU to build/parse one NFS RPC (XDR encode/decode, UDP stack).
+  Nanos nfs_rpc_cpu = Millis(1);
+  // Fetching a cold in-core inode on a successful open()/exec() (the 1987 disk
+  // again; remote files pay an NFS RPC instead). Real time, not CPU.
+  Nanos inode_fetch = Millis(25);
+  // exec() demand-pages the image: only the header and first pages are read
+  // synchronously; this is how many bytes the initial load touches.
+  int64_t exec_prefetch_bytes = 4096;
+
+  // --- Terminals -----------------------------------------------------------------
+  Nanos tty_ioctl = Micros(300);  // line-discipline parameter change
+
+  // --- Network (10 Mbit Ethernet + NFS) ------------------------------------------
+  // An NFS RPC round trip (UDP, lookup/read/write) on an otherwise idle net.
+  Nanos nfs_rpc = Millis(20);
+  // Payload cost: 10 Mbit/s is 1.25 bytes/us on the wire; protocol overhead and
+  // user-level copies roughly halve the achievable rate.
+  Nanos net_per_byte = 1600;  // ~0.6 MB/s effective
+  // rcmd()/rshd connection establishment: privileged port allocation, reverse name
+  // lookup, /etc/hosts.equiv checks, spawning a login-less shell. The paper's
+  // numbers imply this dominates migrate's remote cases (~10 s per connection, two
+  // connections making remote->remote "almost half a minute").
+  Nanos rsh_setup = Seconds(11);
+  // The Section 6.4 improvement: a resident migration daemon on a well-known port
+  // only pays a TCP connect + request parse.
+  Nanos daemon_request = Millis(150);
+
+  // --- Process management ---------------------------------------------------------
+  // execve() fixed overhead beyond image I/O: argument shuffling, u. area reset.
+  Nanos exec_overhead = Millis(12);
+  // Launching a tool binary (dumpproc/restart/...): fork + exec + C-runtime
+  // startup of a real program, which the paper's measured commands all paid.
+  Nanos tool_spawn_cpu = Millis(8);
+  Nanos tool_spawn_wait = Millis(110);
+  // fork(): proc table slot + segment duplication is charged per byte copied.
+  Nanos fork_overhead = Millis(20);
+  // Signal delivery bookkeeping (psignal/issig).
+  Nanos signal_post = Micros(250);
+  // User-mode computation a native (tool) process performs around each system call
+  // — argument marshalling, sscanf-ing dump files, and so on.
+  Nanos native_user_work = Micros(150);
+
+  // Scheduler quantum used by the lockstep cluster loop.
+  Nanos quantum = Millis(10);
+
+  // Cost helpers -------------------------------------------------------------------
+  // Synchronous file I/O of `bytes` starting at `offset`: CPU copy cost plus the
+  // real-time disk latency for the blocks touched. Returns {cpu, wait}.
+  struct IoCost {
+    Nanos cpu;
+    Nanos wait;
+  };
+  IoCost DiskIo(int64_t bytes) const {
+    const int64_t blocks = bytes <= 0 ? 0 : (bytes + disk_block_bytes - 1) / disk_block_bytes;
+    return IoCost{bytes * buffer_copy_per_byte + blocks * disk_block_cpu,
+                  blocks * disk_block_latency};
+  }
+  // Network transfer of `bytes` over one NFS RPC exchange.
+  IoCost NetIo(int64_t bytes) const {
+    return IoCost{bytes * 150 + nfs_rpc_cpu, nfs_rpc + bytes * net_per_byte};
+  }
+};
+
+}  // namespace pmig::sim
+
+#endif  // PMIG_SRC_SIM_COST_MODEL_H_

@@ -1,0 +1,75 @@
+#include "src/sim/result.h"
+
+namespace pmig {
+
+std::string_view ErrnoName(Errno e) {
+  switch (e) {
+    case Errno::kOk:
+      return "OK";
+    case Errno::kPerm:
+      return "EPERM";
+    case Errno::kNoEnt:
+      return "ENOENT";
+    case Errno::kSrch:
+      return "ESRCH";
+    case Errno::kIntr:
+      return "EINTR";
+    case Errno::kIo:
+      return "EIO";
+    case Errno::kNoExec:
+      return "ENOEXEC";
+    case Errno::kBadF:
+      return "EBADF";
+    case Errno::kChild:
+      return "ECHILD";
+    case Errno::kAgain:
+      return "EAGAIN";
+    case Errno::kNoMem:
+      return "ENOMEM";
+    case Errno::kAcces:
+      return "EACCES";
+    case Errno::kFault:
+      return "EFAULT";
+    case Errno::kExist:
+      return "EEXIST";
+    case Errno::kXDev:
+      return "EXDEV";
+    case Errno::kNoDev:
+      return "ENODEV";
+    case Errno::kNotDir:
+      return "ENOTDIR";
+    case Errno::kIsDir:
+      return "EISDIR";
+    case Errno::kInval:
+      return "EINVAL";
+    case Errno::kNFile:
+      return "ENFILE";
+    case Errno::kMFile:
+      return "EMFILE";
+    case Errno::kNoTty:
+      return "ENOTTY";
+    case Errno::kFBig:
+      return "EFBIG";
+    case Errno::kNoSpc:
+      return "ENOSPC";
+    case Errno::kSPipe:
+      return "ESPIPE";
+    case Errno::kRoFs:
+      return "EROFS";
+    case Errno::kPipe:
+      return "EPIPE";
+    case Errno::kNameTooLong:
+      return "ENAMETOOLONG";
+    case Errno::kLoop:
+      return "ELOOP";
+    case Errno::kNotSock:
+      return "ENOTSOCK";
+    case Errno::kHostUnreach:
+      return "EHOSTUNREACH";
+    case Errno::kTimedOut:
+      return "ETIMEDOUT";
+  }
+  return "E?";
+}
+
+}  // namespace pmig

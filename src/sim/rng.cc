@@ -1,0 +1,41 @@
+#include "src/sim/rng.h"
+
+namespace pmig::sim {
+
+uint64_t Rng::Next() {
+  // SplitMix64 (Steele, Lea, Flood 2014).
+  state_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  // Modulo bias is irrelevant at our bounds (<< 2^32) but reject anyway: cheap.
+  const uint64_t limit = bound * ((~uint64_t{0}) / bound);
+  uint64_t x;
+  do {
+    x = Next();
+  } while (x >= limit);
+  return x % bound;
+}
+
+int64_t Rng::Range(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::Double() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);  // 2^-53
+}
+
+std::string Rng::Ident(int len) {
+  std::string s;
+  s.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + Below(26)));
+  }
+  return s;
+}
+
+}  // namespace pmig::sim

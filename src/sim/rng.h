@@ -1,0 +1,48 @@
+// Deterministic pseudo-random numbers for workload generators and property tests.
+//
+// SplitMix64: tiny, fast, well-distributed, and — unlike std::mt19937 plus
+// std::uniform_int_distribution — identical across standard libraries, so recorded
+// benchmark workloads replay exactly everywhere.
+
+#ifndef PMIG_SRC_SIM_RNG_H_
+#define PMIG_SRC_SIM_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmig::sim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double Double();
+
+  bool Chance(double p) { return Double() < p; }
+
+  // Random lower-case identifier of the given length (for generated path names).
+  std::string Ident(int len);
+
+  // Picks one element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Below(v.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace pmig::sim
+
+#endif  // PMIG_SRC_SIM_RNG_H_

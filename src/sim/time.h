@@ -1,0 +1,33 @@
+// Virtual-time vocabulary types.
+//
+// All simulated time is integer nanoseconds on a single virtual timeline shared by
+// every machine in a cluster. Nothing in the library reads the wall clock; identical
+// inputs produce identical timings, which is what makes the benchmark figures
+// reproducible bit-for-bit.
+
+#ifndef PMIG_SRC_SIM_TIME_H_
+#define PMIG_SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace pmig::sim {
+
+// Durations and instants in virtual nanoseconds. Plain integers (rather than
+// std::chrono) keep the cost-model arithmetic transparent and overflow-checkable.
+using Nanos = int64_t;
+
+constexpr Nanos kNanosecond = 1;
+constexpr Nanos kMicrosecond = 1'000;
+constexpr Nanos kMillisecond = 1'000'000;
+constexpr Nanos kSecond = 1'000'000'000;
+
+constexpr Nanos Micros(int64_t n) { return n * kMicrosecond; }
+constexpr Nanos Millis(int64_t n) { return n * kMillisecond; }
+constexpr Nanos Seconds(int64_t n) { return n * kSecond; }
+
+constexpr double ToSeconds(Nanos n) { return static_cast<double>(n) / kSecond; }
+constexpr double ToMillis(Nanos n) { return static_cast<double>(n) / kMillisecond; }
+
+}  // namespace pmig::sim
+
+#endif  // PMIG_SRC_SIM_TIME_H_

@@ -1,0 +1,56 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+
+namespace pmig::sim {
+
+std::string_view TraceCategoryName(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kSyscall:
+      return "syscall";
+    case TraceCategory::kSignal:
+      return "signal";
+    case TraceCategory::kSched:
+      return "sched";
+    case TraceCategory::kFs:
+      return "fs";
+    case TraceCategory::kNet:
+      return "net";
+    case TraceCategory::kMigration:
+      return "migration";
+    case TraceCategory::kApp:
+      return "app";
+  }
+  return "?";
+}
+
+std::string TraceEvent::Format() const {
+  char head[128];
+  std::snprintf(head, sizeof(head), "[%10.6fs %-9s %s:%d] ", ToSeconds(when),
+                std::string(TraceCategoryName(category)).c_str(), host.c_str(), pid);
+  return std::string(head) + text;
+}
+
+void TraceLog::Add(TraceEvent event) {
+  if (!enabled_) return;
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<const TraceEvent*> TraceLog::Matching(std::string_view needle) const {
+  std::vector<const TraceEvent*> out;
+  for (const TraceEvent& e : events_) {
+    if (e.text.find(needle) != std::string::npos) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+size_t TraceLog::CountMatching(std::string_view needle) const {
+  return Matching(needle).size();
+}
+
+}  // namespace pmig::sim

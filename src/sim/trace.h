@@ -1,0 +1,68 @@
+// Event trace: a bounded in-memory log of simulator events.
+//
+// Kernels, the network, and the migration tools append human-readable events tagged
+// with virtual time, host, and pid. Tests assert on event sequences; examples print
+// them; benchmarks leave tracing off. The buffer is bounded so long benchmark runs
+// cannot grow without limit.
+
+#ifndef PMIG_SRC_SIM_TRACE_H_
+#define PMIG_SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace pmig::sim {
+
+enum class TraceCategory : uint8_t {
+  kSyscall,
+  kSignal,
+  kSched,
+  kFs,
+  kNet,
+  kMigration,
+  kApp,
+};
+
+std::string_view TraceCategoryName(TraceCategory c);
+
+struct TraceEvent {
+  Nanos when = 0;
+  TraceCategory category = TraceCategory::kApp;
+  std::string host;
+  int32_t pid = -1;
+  std::string text;
+
+  std::string Format() const;
+};
+
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 16384) : capacity_(capacity) {}
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void Add(TraceEvent event);
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  // All events whose text contains `needle`, oldest first.
+  std::vector<const TraceEvent*> Matching(std::string_view needle) const;
+
+  // Number of events whose text contains `needle`.
+  size_t CountMatching(std::string_view needle) const;
+
+ private:
+  bool enabled_ = false;
+  size_t capacity_;
+  std::deque<TraceEvent> events_;
+};
+
+}  // namespace pmig::sim
+
+#endif  // PMIG_SRC_SIM_TRACE_H_

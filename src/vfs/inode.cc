@@ -1,0 +1,16 @@
+#include "src/vfs/inode.h"
+
+namespace pmig::vfs {
+
+bool CheckAccess(const Inode& inode, int32_t uid, uint8_t want) {
+  if (uid == 0) return true;
+  uint8_t granted;
+  if (uid == inode.uid) {
+    granted = static_cast<uint8_t>((inode.mode >> 6) & 7);
+  } else {
+    granted = static_cast<uint8_t>(inode.mode & 7);
+  }
+  return (granted & want) == want;
+}
+
+}  // namespace pmig::vfs

@@ -1,0 +1,62 @@
+#include "src/vfs/path.h"
+
+namespace pmig::vfs {
+
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    size_t j = i;
+    while (j < path.size() && path[j] != '/') ++j;
+    if (j > i) out.emplace_back(path.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string JoinAbsolute(const std::vector<std::string>& components) {
+  if (components.empty()) return "/";
+  std::string out;
+  for (const std::string& c : components) {
+    out += '/';
+    out += c;
+  }
+  return out;
+}
+
+std::string NormalizeAbsolute(std::string_view path) {
+  std::vector<std::string> stack;
+  for (std::string& c : SplitPath(path)) {
+    if (c == ".") continue;
+    if (c == "..") {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    stack.push_back(std::move(c));
+  }
+  return JoinAbsolute(stack);
+}
+
+std::string Combine(std::string_view cwd, std::string_view path) {
+  if (IsAbsolute(path)) return NormalizeAbsolute(path);
+  std::string joined(cwd);
+  joined += '/';
+  joined += path;
+  return NormalizeAbsolute(joined);
+}
+
+std::string Dirname(std::string_view path) {
+  auto comps = SplitPath(path);
+  if (comps.empty()) return "/";
+  comps.pop_back();
+  return JoinAbsolute(comps);
+}
+
+std::string Basename(std::string_view path) {
+  auto comps = SplitPath(path);
+  if (comps.empty()) return "";
+  return comps.back();
+}
+
+}  // namespace pmig::vfs

@@ -1,0 +1,45 @@
+// Lexical path utilities.
+//
+// These operate on path *strings* only — no filesystem access and, crucially, no
+// symbolic-link resolution. Combine() is exactly the operation the paper's modified
+// kernel performs on the user-structure cwd string after chdir()/open(): relative
+// names are appended to the saved current directory and "." / ".." references are
+// resolved textually (Section 5.1). Because it is textual, a ".." that crosses a
+// symlink behaves "wrongly" in the same way the paper's kernel did — that fidelity
+// is intentional and tested.
+
+#ifndef PMIG_SRC_VFS_PATH_H_
+#define PMIG_SRC_VFS_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmig::vfs {
+
+inline bool IsAbsolute(std::string_view path) {
+  return !path.empty() && path.front() == '/';
+}
+
+// Splits into components, dropping empty ones: "/a//b/" -> {"a", "b"}.
+std::vector<std::string> SplitPath(std::string_view path);
+
+// Joins components into an absolute path: {} -> "/", {"a","b"} -> "/a/b".
+std::string JoinAbsolute(const std::vector<std::string>& components);
+
+// Lexically normalises an absolute path: collapses "//", ".", "..".
+// ".." at the root stays at the root. The input must be absolute.
+std::string NormalizeAbsolute(std::string_view path);
+
+// The Section 5.1 cwd-combination rule: if `path` is absolute the result is simply
+// its normalisation; otherwise it is appended to `cwd` (which must be absolute) and
+// normalised. No symlinks are consulted.
+std::string Combine(std::string_view cwd, std::string_view path);
+
+// Dirname/Basename on absolute paths: "/a/b" -> "/a" and "b"; "/" -> "/" and "".
+std::string Dirname(std::string_view path);
+std::string Basename(std::string_view path);
+
+}  // namespace pmig::vfs
+
+#endif  // PMIG_SRC_VFS_PATH_H_

@@ -1,0 +1,63 @@
+// A small two-pass assembler for the simulated CPU.
+//
+// Test programs, the paper's counter benchmark program, and the example workloads
+// are written in this assembly dialect rather than constructed instruction-by-
+// instruction, which keeps them readable and lets tests cover realistic programs.
+//
+// Syntax:
+//   ; comment to end of line (# also accepted)
+//   .text / .data            switch section (text is default)
+//   .entry label             set the entry point (default: label `start`, else 0)
+//   .isa 10|20               declare machine type for the a.out header (default:
+//                            inferred from the opcodes used)
+//   .equ NAME, expr          define an assembly-time constant
+//   label:                   define a label (text labels are byte offsets in text,
+//                            data labels are absolute addresses at kDataBase+off)
+//   .quad expr, ...          emit 64-bit little-endian words (data section)
+//   .byte expr, ...          emit bytes
+//   .asciiz "str"            emit a NUL-terminated string (supports \n \t \0 \\ \")
+//   .ascii "str"             emit a string without the NUL
+//   .space n                 emit n zero bytes
+//   mnemonic operands        one instruction; register operands are r0..r7,
+//                            immediates are decimal, 0x hex, 'c' chars, labels,
+//                            predefined ABI names (SYS_write, O_CREAT, SIGQUIT,
+//                            TTY_RAW, ...), optionally label+offset.
+//
+// Memory operands for ld/st are written `ld r1, r2, 8` (address = r2 + 8).
+
+#ifndef PMIG_SRC_VM_ASSEMBLER_H_
+#define PMIG_SRC_VM_ASSEMBLER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/vm/aout.h"
+#include "src/vm/isa.h"
+
+namespace pmig::vm {
+
+struct AsmError {
+  int line = 0;
+  std::string message;
+};
+
+struct AsmOutput {
+  bool ok = false;
+  AoutImage image;
+  std::map<std::string, int64_t> symbols;  // labels and .equ constants
+  std::vector<AsmError> errors;
+};
+
+// Assembles the given source. Never throws; on failure `ok` is false and `errors`
+// describes every problem found.
+AsmOutput Assemble(std::string_view source);
+
+// Convenience: assemble or abort with the first error printed to stderr. For use in
+// tests/examples where the source is a known-good constant.
+AoutImage MustAssemble(std::string_view source);
+
+}  // namespace pmig::vm
+
+#endif  // PMIG_SRC_VM_ASSEMBLER_H_

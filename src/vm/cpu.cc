@@ -1,0 +1,315 @@
+#include "src/vm/cpu.h"
+
+#include <cstring>
+
+namespace pmig::vm {
+
+std::string_view FaultName(Fault f) {
+  switch (f) {
+    case Fault::kNone:
+      return "none";
+    case Fault::kIllegalInstruction:
+      return "illegal instruction";
+    case Fault::kIsaViolation:
+      return "isa violation";
+    case Fault::kBadAddress:
+      return "bad address";
+    case Fault::kDivideByZero:
+      return "divide by zero";
+    case Fault::kStackOverflow:
+      return "stack overflow";
+  }
+  return "?";
+}
+
+void VmContext::LoadImage(const AoutImage& image) {
+  text = image.text;
+  data = image.data;
+  stack.assign(kStackMax, 0);
+  cpu = CpuState{};
+  cpu.pc = image.header.entry;
+  cpu.sp = kStackTop;
+}
+
+std::vector<uint8_t> VmContext::StackContents() const {
+  const uint32_t size = StackSize();
+  std::vector<uint8_t> out(size);
+  if (size > 0) {
+    std::memcpy(out.data(), stack.data() + (cpu.sp - kStackBase), size);
+  }
+  return out;
+}
+
+bool VmContext::SetStackContents(const std::vector<uint8_t>& contents) {
+  if (contents.size() > kStackMax) return false;
+  stack.assign(kStackMax, 0);
+  cpu.sp = kStackTop - static_cast<uint32_t>(contents.size());
+  if (!contents.empty()) {
+    std::memcpy(stack.data() + (cpu.sp - kStackBase), contents.data(), contents.size());
+  }
+  return true;
+}
+
+namespace {
+
+// Resolves a [addr, addr+len) range to a backing pointer within one segment, or
+// nullptr. Text is excluded: it is execute-only, as on a real split-I/D machine.
+const uint8_t* ResolveRead(const VmContext& ctx, uint32_t addr, uint32_t len) {
+  if (len == 0) return reinterpret_cast<const uint8_t*>(&ctx);  // any non-null
+  if (addr >= kDataBase && addr + len > addr &&
+      addr + len <= kDataBase + ctx.data.size()) {
+    return ctx.data.data() + (addr - kDataBase);
+  }
+  if (addr >= kStackBase && addr + len > addr && addr + len <= kStackTop) {
+    return ctx.stack.data() + (addr - kStackBase);
+  }
+  return nullptr;
+}
+
+uint8_t* ResolveWrite(VmContext& ctx, uint32_t addr, uint32_t len) {
+  return const_cast<uint8_t*>(ResolveRead(ctx, addr, len));
+}
+
+}  // namespace
+
+bool VmContext::ReadBytes(uint32_t addr, uint32_t len, uint8_t* out) const {
+  const uint8_t* p = ResolveRead(*this, addr, len);
+  if (p == nullptr) return false;
+  if (len > 0) std::memcpy(out, p, len);
+  return true;
+}
+
+bool VmContext::WriteBytes(uint32_t addr, uint32_t len, const uint8_t* in) {
+  uint8_t* p = ResolveWrite(*this, addr, len);
+  if (p == nullptr) return false;
+  if (len > 0) std::memcpy(p, in, len);
+  return true;
+}
+
+bool VmContext::ReadU64(uint32_t addr, int64_t* out) const {
+  uint8_t buf[8];
+  if (!ReadBytes(addr, 8, buf)) return false;
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | buf[i];
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool VmContext::WriteU64(uint32_t addr, int64_t value) {
+  uint8_t buf[8];
+  const auto u = static_cast<uint64_t>(value);
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<uint8_t>((u >> (8 * i)) & 0xFF);
+  return WriteBytes(addr, 8, buf);
+}
+
+bool VmContext::ReadU16(uint32_t addr, uint16_t* out) const {
+  uint8_t buf[2];
+  if (!ReadBytes(addr, 2, buf)) return false;
+  *out = static_cast<uint16_t>(buf[0] | (buf[1] << 8));
+  return true;
+}
+
+bool VmContext::WriteU16(uint32_t addr, uint16_t value) {
+  uint8_t buf[2] = {static_cast<uint8_t>(value & 0xFF), static_cast<uint8_t>(value >> 8)};
+  return WriteBytes(addr, 2, buf);
+}
+
+bool VmContext::ReadCString(uint32_t addr, uint32_t max_len, std::string* out) const {
+  out->clear();
+  for (uint32_t i = 0; i <= max_len; ++i) {
+    uint8_t c;
+    if (!ReadBytes(addr + i, 1, &c)) return false;
+    if (c == 0) return true;
+    out->push_back(static_cast<char>(c));
+  }
+  return false;  // unterminated within max_len
+}
+
+bool VmContext::WriteCString(uint32_t addr, const std::string& s) {
+  if (!WriteBytes(addr, static_cast<uint32_t>(s.size()),
+                  reinterpret_cast<const uint8_t*>(s.data()))) {
+    return false;
+  }
+  const uint8_t nul = 0;
+  return WriteBytes(addr + static_cast<uint32_t>(s.size()), 1, &nul);
+}
+
+StopReason Cpu::Run(VmContext& ctx, int64_t max_steps) {
+  steps_executed_ = 0;
+  last_fault_ = Fault::kNone;
+  while (steps_executed_ < max_steps) {
+    const StopReason reason = StepOnce(ctx);
+    ++steps_executed_;
+    if (reason != StopReason::kSteps) return reason;
+  }
+  return StopReason::kSteps;
+}
+
+StopReason Cpu::StepOnce(VmContext& ctx) {
+  CpuState& cpu = ctx.cpu;
+  if (cpu.pc + kInstrBytes > ctx.text.size() || cpu.pc % kInstrBytes != 0) {
+    last_fault_ = Fault::kBadAddress;
+    return StopReason::kFault;
+  }
+  const Instruction in = Instruction::Decode(ctx.text.data() + cpu.pc);
+  const OpcodeInfo& info = GetOpcodeInfo(in.op);
+  if (in.op >= Opcode::kNumOpcodes) {
+    last_fault_ = Fault::kIllegalInstruction;
+    return StopReason::kFault;
+  }
+  if (!IsaCompatible(info.level, machine_level_)) {
+    last_fault_ = Fault::kIsaViolation;
+    return StopReason::kFault;
+  }
+  if ((in.ra >= kNumRegs && info.shape != OpcodeInfo::Shape::kNone &&
+       info.shape != OpcodeInfo::Shape::kImm) ||
+      in.rb >= kNumRegs || in.rc >= kNumRegs) {
+    last_fault_ = Fault::kIllegalInstruction;
+    return StopReason::kFault;
+  }
+  cpu.pc += kInstrBytes;  // default: fall through; branches overwrite
+
+  auto fault = [&](Fault f) {
+    cpu.pc -= kInstrBytes;  // leave pc at the faulting instruction
+    last_fault_ = f;
+    return StopReason::kFault;
+  };
+
+  int64_t* r = cpu.regs;
+  switch (in.op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kMovI:
+      r[in.ra] = in.imm;
+      break;
+    case Opcode::kMov:
+      r[in.ra] = r[in.rb];
+      break;
+    case Opcode::kAdd:
+      r[in.ra] = r[in.rb] + r[in.rc];
+      break;
+    case Opcode::kSub:
+      r[in.ra] = r[in.rb] - r[in.rc];
+      break;
+    case Opcode::kMul:
+    case Opcode::kLMul:
+      r[in.ra] = r[in.rb] * r[in.rc];
+      break;
+    case Opcode::kDiv:
+      if (r[in.rc] == 0) return fault(Fault::kDivideByZero);
+      r[in.ra] = r[in.rb] / r[in.rc];
+      break;
+    case Opcode::kMod:
+      if (r[in.rc] == 0) return fault(Fault::kDivideByZero);
+      r[in.ra] = r[in.rb] % r[in.rc];
+      break;
+    case Opcode::kAnd:
+      r[in.ra] = r[in.rb] & r[in.rc];
+      break;
+    case Opcode::kOr:
+      r[in.ra] = r[in.rb] | r[in.rc];
+      break;
+    case Opcode::kXor:
+      r[in.ra] = r[in.rb] ^ r[in.rc];
+      break;
+    case Opcode::kShl:
+      r[in.ra] = r[in.rb] << (r[in.rc] & 63);
+      break;
+    case Opcode::kShr:
+      r[in.ra] = static_cast<int64_t>(static_cast<uint64_t>(r[in.rb]) >> (r[in.rc] & 63));
+      break;
+    case Opcode::kAddI:
+      r[in.ra] = r[in.rb] + in.imm;
+      break;
+    case Opcode::kLd: {
+      int64_t v;
+      if (!ctx.ReadU64(static_cast<uint32_t>(r[in.rb] + in.imm), &v)) {
+        return fault(Fault::kBadAddress);
+      }
+      r[in.ra] = v;
+      break;
+    }
+    case Opcode::kLdB: {
+      uint8_t v;
+      if (!ctx.ReadBytes(static_cast<uint32_t>(r[in.rb] + in.imm), 1, &v)) {
+        return fault(Fault::kBadAddress);
+      }
+      r[in.ra] = v;
+      break;
+    }
+    case Opcode::kSt:
+      if (!ctx.WriteU64(static_cast<uint32_t>(r[in.rb] + in.imm), r[in.ra])) {
+        return fault(Fault::kBadAddress);
+      }
+      break;
+    case Opcode::kStB: {
+      const uint8_t v = static_cast<uint8_t>(r[in.ra] & 0xFF);
+      if (!ctx.WriteBytes(static_cast<uint32_t>(r[in.rb] + in.imm), 1, &v)) {
+        return fault(Fault::kBadAddress);
+      }
+      break;
+    }
+    case Opcode::kPush:
+      if (cpu.sp < kStackBase + 8) return fault(Fault::kStackOverflow);
+      cpu.sp -= 8;
+      if (!ctx.WriteU64(cpu.sp, r[in.ra])) return fault(Fault::kBadAddress);
+      break;
+    case Opcode::kPop: {
+      int64_t v;
+      if (cpu.sp + 8 > kStackTop) return fault(Fault::kBadAddress);
+      if (!ctx.ReadU64(cpu.sp, &v)) return fault(Fault::kBadAddress);
+      cpu.sp += 8;
+      r[in.ra] = v;
+      break;
+    }
+    case Opcode::kJmp:
+      cpu.pc = static_cast<uint32_t>(in.imm);
+      break;
+    case Opcode::kCall:
+      if (cpu.sp < kStackBase + 8) return fault(Fault::kStackOverflow);
+      cpu.sp -= 8;
+      if (!ctx.WriteU64(cpu.sp, cpu.pc)) return fault(Fault::kBadAddress);
+      cpu.pc = static_cast<uint32_t>(in.imm);
+      break;
+    case Opcode::kRet: {
+      int64_t v;
+      if (cpu.sp + 8 > kStackTop) return fault(Fault::kBadAddress);
+      if (!ctx.ReadU64(cpu.sp, &v)) return fault(Fault::kBadAddress);
+      cpu.sp += 8;
+      cpu.pc = static_cast<uint32_t>(v);
+      break;
+    }
+    case Opcode::kBeq:
+      if (r[in.ra] == r[in.rb]) cpu.pc = static_cast<uint32_t>(in.imm);
+      break;
+    case Opcode::kBne:
+      if (r[in.ra] != r[in.rb]) cpu.pc = static_cast<uint32_t>(in.imm);
+      break;
+    case Opcode::kBlt:
+      if (r[in.ra] < r[in.rb]) cpu.pc = static_cast<uint32_t>(in.imm);
+      break;
+    case Opcode::kBge:
+      if (r[in.ra] >= r[in.rb]) cpu.pc = static_cast<uint32_t>(in.imm);
+      break;
+    case Opcode::kBfExt: {
+      const int shift = in.imm & 0xFF;
+      const int width = (in.imm >> 8) & 0xFF;
+      const uint64_t mask = width >= 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+      r[in.ra] = static_cast<int64_t>((static_cast<uint64_t>(r[in.rb]) >> shift) & mask);
+      break;
+    }
+    case Opcode::kRdSp:
+      r[in.ra] = cpu.sp;
+      break;
+    case Opcode::kSys:
+      last_syscall_ = in.imm;
+      return StopReason::kSyscall;
+    case Opcode::kHalt:
+      return fault(Fault::kIllegalInstruction);
+    case Opcode::kNumOpcodes:
+      return fault(Fault::kIllegalInstruction);
+  }
+  return StopReason::kSteps;
+}
+
+}  // namespace pmig::vm

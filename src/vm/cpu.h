@@ -1,0 +1,104 @@
+// The CPU executor and the migratable machine context.
+//
+// A VmContext is the complete machine-level state of a running program: text, data,
+// stack segments plus registers. It is exactly the state the paper's SIGDUMP writes
+// out (text+data into a.outXXXXX; stack, registers into stackXXXXX) and rest_proc()
+// reads back, so a migrated process in this repository really is reconstructed from
+// bytes that crossed the (simulated) network.
+
+#ifndef PMIG_SRC_VM_CPU_H_
+#define PMIG_SRC_VM_CPU_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/vm/aout.h"
+#include "src/vm/isa.h"
+
+namespace pmig::vm {
+
+struct CpuState {
+  int64_t regs[kNumRegs] = {};
+  uint32_t pc = 0;
+  uint32_t sp = kStackTop;
+
+  bool operator==(const CpuState&) const = default;
+};
+
+enum class Fault : uint8_t {
+  kNone = 0,
+  kIllegalInstruction,  // undefined opcode or kHalt
+  kIsaViolation,        // kIsa20 instruction on a kIsa10 machine
+  kBadAddress,          // load/store/fetch outside mapped segments, or store to text
+  kDivideByZero,
+  kStackOverflow,       // sp pushed below kStackBase
+};
+
+std::string_view FaultName(Fault f);
+
+enum class StopReason : uint8_t {
+  kSteps,    // step budget exhausted (preempted)
+  kSyscall,  // executed SYS; number in Cpu::last_syscall()
+  kFault,    // faulted; kind in Cpu::last_fault()
+};
+
+// The migratable machine context.
+struct VmContext {
+  std::vector<uint8_t> text;
+  std::vector<uint8_t> data;
+  // Backing store for the whole possible stack region [kStackBase, kStackTop).
+  // Only [sp, kStackTop) is meaningful and only that slice is dumped.
+  std::vector<uint8_t> stack = std::vector<uint8_t>(kStackMax, 0);
+  CpuState cpu;
+
+  // Loads an executable image: resets segments and registers, pc at entry, empty
+  // stack. (The modified execve() of Section 5.2 instead pre-sizes the stack; that
+  // logic lives in the kernel.)
+  void LoadImage(const AoutImage& image);
+
+  // The dumped stack: bytes from sp to kStackTop.
+  uint32_t StackSize() const { return kStackTop - cpu.sp; }
+  std::vector<uint8_t> StackContents() const;
+  // Restores a previously dumped stack: sp = kStackTop - contents.size().
+  bool SetStackContents(const std::vector<uint8_t>& contents);
+
+  // --- Memory access (data + stack are read/write; text is fetch-only) ---
+  bool ReadBytes(uint32_t addr, uint32_t len, uint8_t* out) const;
+  bool WriteBytes(uint32_t addr, uint32_t len, const uint8_t* in);
+  bool ReadU64(uint32_t addr, int64_t* out) const;
+  bool WriteU64(uint32_t addr, int64_t value);
+  bool ReadU16(uint32_t addr, uint16_t* out) const;
+  bool WriteU16(uint32_t addr, uint16_t value);
+  // Reads a NUL-terminated string of at most `max_len` bytes (excluding NUL).
+  bool ReadCString(uint32_t addr, uint32_t max_len, std::string* out) const;
+  bool WriteCString(uint32_t addr, const std::string& s);  // writes s + NUL
+};
+
+// Executes instructions against a VmContext.
+class Cpu {
+ public:
+  // `machine_level` is the ISA of the machine this context is running on.
+  explicit Cpu(IsaLevel machine_level) : machine_level_(machine_level) {}
+
+  // Runs up to `max_steps` instructions. Returns why execution stopped. On
+  // kSyscall the pc has advanced past the SYS instruction (rewind by kInstrBytes to
+  // re-execute it, which is how interrupted blocking syscalls restart).
+  StopReason Run(VmContext& ctx, int64_t max_steps);
+
+  int64_t steps_executed() const { return steps_executed_; }
+  int32_t last_syscall() const { return last_syscall_; }
+  Fault last_fault() const { return last_fault_; }
+
+ private:
+  StopReason StepOnce(VmContext& ctx);
+
+  IsaLevel machine_level_;
+  int64_t steps_executed_ = 0;
+  int32_t last_syscall_ = 0;
+  Fault last_fault_ = Fault::kNone;
+};
+
+}  // namespace pmig::vm
+
+#endif  // PMIG_SRC_VM_CPU_H_

@@ -1,0 +1,99 @@
+#include "src/vm/isa.h"
+
+#include <cstring>
+
+namespace pmig::vm {
+
+namespace {
+
+using Shape = OpcodeInfo::Shape;
+
+constexpr OpcodeInfo kUnknown{"???", IsaLevel::kIsa10, Shape::kNone};
+
+constexpr OpcodeInfo kTable[] = {
+    /* kNop   */ {"nop", IsaLevel::kIsa10, Shape::kNone},
+    /* kMovI  */ {"movi", IsaLevel::kIsa10, Shape::kRegImm},
+    /* kMov   */ {"mov", IsaLevel::kIsa10, Shape::kRegReg},
+    /* kAdd   */ {"add", IsaLevel::kIsa10, Shape::kThreeReg},
+    /* kSub   */ {"sub", IsaLevel::kIsa10, Shape::kThreeReg},
+    /* kMul   */ {"mul", IsaLevel::kIsa10, Shape::kThreeReg},
+    /* kDiv   */ {"div", IsaLevel::kIsa10, Shape::kThreeReg},
+    /* kMod   */ {"mod", IsaLevel::kIsa10, Shape::kThreeReg},
+    /* kAnd   */ {"and", IsaLevel::kIsa10, Shape::kThreeReg},
+    /* kOr    */ {"or", IsaLevel::kIsa10, Shape::kThreeReg},
+    /* kXor   */ {"xor", IsaLevel::kIsa10, Shape::kThreeReg},
+    /* kShl   */ {"shl", IsaLevel::kIsa10, Shape::kThreeReg},
+    /* kShr   */ {"shr", IsaLevel::kIsa10, Shape::kThreeReg},
+    /* kAddI  */ {"addi", IsaLevel::kIsa10, Shape::kRegRegImm},
+    /* kLd    */ {"ld", IsaLevel::kIsa10, Shape::kRegRegImm},
+    /* kLdB   */ {"ldb", IsaLevel::kIsa10, Shape::kRegRegImm},
+    /* kSt    */ {"st", IsaLevel::kIsa10, Shape::kRegRegImm},
+    /* kStB   */ {"stb", IsaLevel::kIsa10, Shape::kRegRegImm},
+    /* kPush  */ {"push", IsaLevel::kIsa10, Shape::kReg},
+    /* kPop   */ {"pop", IsaLevel::kIsa10, Shape::kReg},
+    /* kJmp   */ {"jmp", IsaLevel::kIsa10, Shape::kImm},
+    /* kCall  */ {"call", IsaLevel::kIsa10, Shape::kImm},
+    /* kRet   */ {"ret", IsaLevel::kIsa10, Shape::kNone},
+    /* kBeq   */ {"beq", IsaLevel::kIsa10, Shape::kRegRegImm},
+    /* kBne   */ {"bne", IsaLevel::kIsa10, Shape::kRegRegImm},
+    /* kBlt   */ {"blt", IsaLevel::kIsa10, Shape::kRegRegImm},
+    /* kBge   */ {"bge", IsaLevel::kIsa10, Shape::kRegRegImm},
+    /* kRdSp  */ {"rdsp", IsaLevel::kIsa10, Shape::kReg},
+    /* kSys   */ {"sys", IsaLevel::kIsa10, Shape::kImm},
+    /* kHalt  */ {"halt", IsaLevel::kIsa10, Shape::kNone},
+    /* kLMul  */ {"lmul", IsaLevel::kIsa20, Shape::kThreeReg},
+    /* kBfExt */ {"bfext", IsaLevel::kIsa20, Shape::kRegRegImm},
+};
+
+static_assert(sizeof(kTable) / sizeof(kTable[0]) ==
+                  static_cast<size_t>(Opcode::kNumOpcodes),
+              "opcode table out of sync with Opcode enum");
+
+}  // namespace
+
+const OpcodeInfo& GetOpcodeInfo(Opcode op) {
+  const auto idx = static_cast<size_t>(op);
+  if (idx >= static_cast<size_t>(Opcode::kNumOpcodes)) return kUnknown;
+  return kTable[idx];
+}
+
+std::array<uint8_t, kInstrBytes> Instruction::Encode() const {
+  std::array<uint8_t, kInstrBytes> out{};
+  out[0] = static_cast<uint8_t>(op);
+  out[1] = ra;
+  out[2] = rb;
+  out[3] = rc;
+  // Little-endian immediate.
+  const auto u = static_cast<uint32_t>(imm);
+  out[4] = static_cast<uint8_t>(u & 0xFF);
+  out[5] = static_cast<uint8_t>((u >> 8) & 0xFF);
+  out[6] = static_cast<uint8_t>((u >> 16) & 0xFF);
+  out[7] = static_cast<uint8_t>((u >> 24) & 0xFF);
+  return out;
+}
+
+Instruction Instruction::Decode(const uint8_t* bytes) {
+  Instruction in;
+  in.op = static_cast<Opcode>(bytes[0]);
+  in.ra = bytes[1];
+  in.rb = bytes[2];
+  in.rc = bytes[3];
+  const uint32_t u = static_cast<uint32_t>(bytes[4]) | (static_cast<uint32_t>(bytes[5]) << 8) |
+                     (static_cast<uint32_t>(bytes[6]) << 16) |
+                     (static_cast<uint32_t>(bytes[7]) << 24);
+  in.imm = static_cast<int32_t>(u);
+  return in;
+}
+
+IsaLevel RequiredLevel(const uint8_t* text, size_t size) {
+  IsaLevel level = IsaLevel::kIsa10;
+  for (size_t off = 0; off + kInstrBytes <= size; off += kInstrBytes) {
+    const auto op = static_cast<Opcode>(text[off]);
+    if (GetOpcodeInfo(op).level == IsaLevel::kIsa20) {
+      level = IsaLevel::kIsa20;
+    }
+  }
+  return level;
+}
+
+}  // namespace pmig::vm

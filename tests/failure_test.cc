@@ -1,0 +1,206 @@
+// Failure injection: crashed machines, corrupted dump files, and the evacuation
+// application (the paper's introductory "machine about to go down" scenario).
+
+#include <gtest/gtest.h>
+
+#include "src/apps/evacuate.h"
+#include "src/apps/night_shift.h"
+#include "src/core/dump_format.h"
+#include "src/net/migration_daemon.h"
+#include "src/net/rsh.h"
+#include "tests/test_util.h"
+
+namespace pmig {
+namespace {
+
+using core::DumpPaths;
+using kernel::SyscallApi;
+using test::kUserUid;
+using test::World;
+
+TEST(HostFailure, DownedHostRunsNothing) {
+  World world;
+  const int32_t pid = world.StartVm("brick", "/bin/hog", {"hog", "100000"});
+  world.cluster().RunFor(sim::Millis(50));
+  kernel::Proc* p = world.host("brick").FindProc(pid);
+  ASSERT_NE(p, nullptr);
+  const sim::Nanos cpu_before = p->utime;
+  world.cluster().SetHostDown("brick", true);
+  world.cluster().RunFor(sim::Seconds(2));
+  EXPECT_EQ(p->utime, cpu_before);  // frozen
+  world.cluster().SetHostDown("brick", false);
+  ASSERT_TRUE(world.RunUntilExited("brick", pid, sim::Seconds(30)));  // resumes
+}
+
+TEST(HostFailure, NfsToDownedHostFailsFast) {
+  World world;
+  world.host("schooner").vfs().SetupCreateFile("/tmp/remote.txt", "bytes");
+  world.cluster().SetHostDown("schooner", true);
+  kernel::SpawnOptions opts;
+  opts.creds = {kUserUid, 10, kUserUid, 10};
+  auto err = std::make_shared<Errno>(Errno::kOk);
+  const int32_t pid = world.host("brick").SpawnNative(
+      "nfs",
+      [err](SyscallApi& api) {
+        *err = api.Open("/n/schooner/tmp/remote.txt", vm::abi::kORdOnly).error();
+        return 0;
+      },
+      opts);
+  world.RunUntilExited("brick", pid);
+  EXPECT_EQ(*err, Errno::kHostUnreach);
+}
+
+TEST(HostFailure, RshAndDaemonToDownedHostUnreachable) {
+  test::WorldOptions options;
+  options.daemons = true;
+  World world(options);
+  world.cluster().SetHostDown("schooner", true);
+  net::Network* net = &world.cluster().network();
+  auto errs = std::make_shared<std::pair<Errno, Errno>>();
+  kernel::SpawnOptions opts;
+  opts.creds = {kUserUid, 10, kUserUid, 10};
+  const int32_t pid = world.host("brick").SpawnNative(
+      "probe",
+      [errs, net](SyscallApi& api) {
+        errs->first = net::Rsh(api, *net, "schooner", "ps", {}).error();
+        errs->second = net::DaemonExec(api, *net, "schooner", "ps", {}).error();
+        return 0;
+      },
+      opts);
+  world.RunUntilExited("brick", pid, sim::Seconds(120));
+  EXPECT_EQ(errs->first, Errno::kHostUnreach);
+  EXPECT_EQ(errs->second, Errno::kHostUnreach);
+}
+
+TEST(HostFailure, DumpStrandedOnCrashedHostCannotRestart) {
+  // The dump files live on the dying machine: if it goes down before they are
+  // copied, restart elsewhere fails — the motivation for the checkpoint
+  // application's "move them to a directory managed by the application".
+  World world;
+  const int32_t pid = world.StartVm("brick", "/bin/counter");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  const int32_t dp = world.StartTool("brick", "dumpproc", {"-p", std::to_string(pid)});
+  ASSERT_TRUE(world.RunUntilExited("brick", dp));
+  ASSERT_EQ(world.ExitInfoOf("brick", dp).exit_code, 0);
+
+  world.cluster().SetHostDown("brick", true);
+  const int32_t rs = world.StartTool("schooner", "restart",
+                                     {"-p", std::to_string(pid), "-h", "brick"},
+                                     kUserUid, world.console("schooner"));
+  ASSERT_TRUE(world.RunUntilExited("schooner", rs, sim::Seconds(120)));
+  EXPECT_NE(world.ExitInfoOf("schooner", rs).exit_code, 0);
+}
+
+TEST(HostFailure, EvacuateThenCrashPreservesWork) {
+  // The paper's opening scenario, end to end: brick is about to go down; evacuate
+  // it, crash it, and the work continues on schooner.
+  World world;
+  const int32_t counter = world.StartVm("brick", "/bin/counter");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", counter));
+  world.console("brick")->Type("pre-crash\n");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", counter));
+  const int32_t hog = world.StartVm("brick", "/bin/hog", {"hog", "40000000"});
+  ASSERT_GT(hog, 0);
+  world.cluster().RunFor(sim::Millis(100));
+
+  auto report = std::make_shared<apps::EvacuationReport>();
+  net::Network* net = &world.cluster().network();
+  kernel::SpawnOptions opts;  // root; runs on schooner (the safe machine)
+  opts.tty = world.console("schooner");
+  const int32_t ev = world.host("schooner").SpawnNative(
+      "evacuate",
+      [report, net](SyscallApi& api) {
+        *report = apps::EvacuateHost(api, *net, "brick", "schooner",
+                                     /*use_daemon=*/false);
+        return 0;
+      },
+      opts);
+  ASSERT_TRUE(world.RunUntilExited("schooner", ev, sim::Seconds(600)));
+  EXPECT_EQ(report->moved.size(), 2u);
+  EXPECT_TRUE(report->unmovable.empty());
+  EXPECT_TRUE(report->failed.empty());
+
+  // Lights out on brick.
+  world.cluster().SetHostDown("brick", true);
+
+  // Both processes now live on schooner. NOTE the subtlety: the counter's output
+  // file lives on brick's (now dead) disk — writes to it vanish while brick is
+  // down; the process itself keeps running. (The checkpoint application exists
+  // for exactly this gap.)
+  EXPECT_EQ(apps::BatchJobsOn(world.host("brick"), kUserUid).size(), 0u);
+  int vm_on_schooner = 0;
+  for (kernel::Proc* p : world.host("schooner").ListProcs()) {
+    if (p->kind == kernel::ProcKind::kVm && p->Alive()) ++vm_on_schooner;
+  }
+  EXPECT_EQ(vm_on_schooner, 2);
+
+  const int32_t moved = world.FindPidByCommand("schooner", "migrated");
+  ASSERT_GT(moved, 0);
+}
+
+TEST(HostFailure, EvacuationReportsUnmovableProcesses) {
+  World world;
+  const int32_t socketer = world.StartVm("brick", "/bin/socketer");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", socketer));
+  auto report = std::make_shared<apps::EvacuationReport>();
+  net::Network* net = &world.cluster().network();
+  kernel::SpawnOptions opts;  // root
+  const int32_t ev = world.host("brick").SpawnNative(
+      "evacuate",
+      [report, net](SyscallApi& api) {
+        *report = apps::EvacuateHost(api, *net, "brick", "schooner",
+                                     /*use_daemon=*/false);
+        return 0;
+      },
+      opts);
+  ASSERT_TRUE(world.RunUntilExited("brick", ev, sim::Seconds(300)));
+  ASSERT_EQ(report->unmovable.size(), 1u);
+  EXPECT_EQ(report->unmovable[0], socketer);
+  // It was left untouched, still running on brick.
+  kernel::Proc* p = world.host("brick").FindProc(socketer);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->Alive());
+}
+
+TEST(DumpCorruption, FlippedBitFailsRestartCleanly) {
+  World world;
+  const int32_t pid = world.StartVm("brick", "/bin/counter");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  const int32_t dp = world.StartTool("brick", "dumpproc", {"-p", std::to_string(pid)});
+  ASSERT_TRUE(world.RunUntilExited("brick", dp));
+
+  // Flip a byte in the stack file's magic region.
+  const DumpPaths paths = DumpPaths::For(pid);
+  kernel::Kernel& k = world.host("brick");
+  auto r = k.vfs().Resolve(k.vfs().RootState(), paths.stack, vfs::Follow::kAll, nullptr);
+  ASSERT_TRUE(r.ok());
+  r->inode->data[0] ^= 0x40;
+
+  const int32_t rs = world.StartTool("brick", "restart", {"-p", std::to_string(pid)},
+                                     kUserUid, world.console("brick"));
+  ASSERT_TRUE(world.RunUntilExited("brick", rs, sim::Seconds(120)));
+  EXPECT_NE(world.ExitInfoOf("brick", rs).exit_code, 0);
+  EXPECT_NE(world.tty("brick", "ttyp0")->PlainOutput().find(""), std::string::npos);
+}
+
+TEST(DumpCorruption, TruncatedAoutFailsRestartCleanly) {
+  World world;
+  const int32_t pid = world.StartVm("brick", "/bin/counter");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  const int32_t dp = world.StartTool("brick", "dumpproc", {"-p", std::to_string(pid)});
+  ASSERT_TRUE(world.RunUntilExited("brick", dp));
+
+  const DumpPaths paths = DumpPaths::For(pid);
+  kernel::Kernel& k = world.host("brick");
+  auto r = k.vfs().Resolve(k.vfs().RootState(), paths.aout, vfs::Follow::kAll, nullptr);
+  ASSERT_TRUE(r.ok());
+  r->inode->data.resize(10);  // header survives partially; body gone
+
+  const int32_t rs = world.StartTool("brick", "restart", {"-p", std::to_string(pid)},
+                                     kUserUid, world.console("brick"));
+  ASSERT_TRUE(world.RunUntilExited("brick", rs, sim::Seconds(120)));
+  EXPECT_NE(world.ExitInfoOf("brick", rs).exit_code, 0);
+}
+
+}  // namespace
+}  // namespace pmig

@@ -1,0 +1,125 @@
+// End-to-end migration: the paper's Section 4.2 user interaction, in full.
+//
+// A counter program runs on brick; it is dumped with dumpproc, restarted on
+// schooner with restart (and, in other tests, moved in one step with migrate).
+// The register, static, and stack counters must continue from where they stopped;
+// the output file must keep appending at the right offset; the pid changes.
+
+#include <gtest/gtest.h>
+
+#include "src/core/dump_format.h"
+#include "tests/test_util.h"
+
+namespace pmig {
+namespace {
+
+using test::World;
+
+TEST(MigrationIntegration, CounterSurvivesDumpprocRestartAcrossHosts) {
+  World world;
+
+  // Run the counter on brick; feed it one line.
+  const int32_t pid = world.StartVm("brick", "/bin/counter");
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  EXPECT_NE(world.console("brick")->PlainOutput().find("r=1 s=1 k=1"), std::string::npos);
+
+  world.console("brick")->Type("hello\n");
+  ASSERT_TRUE(world.cluster().RunUntil([&] {
+    return world.console("brick")->PlainOutput().find("r=2 s=2 k=2") != std::string::npos;
+  }));
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+
+  // dumpproc -p <pid> on brick.
+  const int32_t dp = world.StartTool("brick", "dumpproc", {"-p", std::to_string(pid)});
+  ASSERT_GT(dp, 0);
+  ASSERT_TRUE(world.RunUntilExited("brick", dp));
+  EXPECT_EQ(world.ExitInfoOf("brick", dp).exit_code, 0);
+
+  // The counter is gone, via a migration dump, and the three files exist.
+  ASSERT_TRUE(world.RunUntilExited("brick", pid));
+  EXPECT_TRUE(world.ExitInfoOf("brick", pid).migration_dumped);
+  const core::DumpPaths paths = core::DumpPaths::For(pid);
+  EXPECT_TRUE(world.FileExists("brick", paths.aout));
+  EXPECT_TRUE(world.FileExists("brick", paths.files));
+  EXPECT_TRUE(world.FileExists("brick", paths.stack));
+
+  // restart -p <pid> -h brick, typed on schooner's console.
+  const int32_t rs = world.StartTool("schooner", "restart",
+                                     {"-p", std::to_string(pid), "-h", "brick"},
+                                     test::kUserUid, world.console("schooner"));
+  ASSERT_GT(rs, 0);
+  // The restart process itself becomes the migrated program and blocks at the
+  // re-executed read().
+  ASSERT_TRUE(world.RunUntilBlocked("schooner", rs));
+  kernel::Proc* migrated = world.host("schooner").FindProc(rs);
+  ASSERT_NE(migrated, nullptr);
+  EXPECT_EQ(migrated->kind, kernel::ProcKind::kVm);
+  EXPECT_TRUE(migrated->migrated);
+  EXPECT_EQ(migrated->old_pid, pid);
+  EXPECT_EQ(migrated->old_host, "brick");
+  EXPECT_NE(migrated->pid, pid);  // restarted under a new pid
+
+  // Feed it another line on schooner: all three counters continue at 3.
+  world.console("schooner")->Type("world\n");
+  ASSERT_TRUE(world.cluster().RunUntil([&] {
+    return world.console("schooner")->PlainOutput().find("r=3 s=3 k=3") != std::string::npos;
+  }));
+
+  // The output file (on brick's disk, reached over NFS) kept appending.
+  EXPECT_EQ(world.FileContents("brick", "/u/user/counter.out"), "hello\nworld\n");
+}
+
+TEST(MigrationIntegration, MigrateCommandMovesProcessInOneStep) {
+  World world;
+
+  const int32_t pid = world.StartVm("brick", "/bin/counter");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  world.console("brick")->Type("one\n");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+
+  // migrate -p pid -f brick -t schooner, typed on schooner (the best option for
+  // preserving terminal modes, per Section 4.2).
+  const int32_t mig = world.StartTool("schooner", "migrate",
+                                      {"-p", std::to_string(pid), "-f", "brick", "-t",
+                                       "schooner"},
+                                      test::kUserUid, world.console("schooner"));
+  ASSERT_TRUE(world.RunUntilExited("schooner", mig, sim::Seconds(300)));
+  EXPECT_EQ(world.ExitInfoOf("schooner", mig).exit_code, 0);
+
+  // The migrated process lives on schooner, attached to schooner's console.
+  const int32_t new_pid = world.FindPidByCommand("schooner", "migrated");
+  ASSERT_GT(new_pid, 0);
+  world.console("schooner")->Type("two\n");
+  ASSERT_TRUE(world.cluster().RunUntil([&] {
+    return world.console("schooner")->PlainOutput().find("r=3 s=3 k=3") != std::string::npos;
+  }));
+  EXPECT_EQ(world.FileContents("brick", "/u/user/counter.out"), "one\ntwo\n");
+}
+
+TEST(MigrationIntegration, MigrateLocalToLocalRestartsOnSameHost) {
+  World world;
+
+  const int32_t pid = world.StartVm("brick", "/bin/counter");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  world.console("brick")->Type("aa\n");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+
+  const int32_t mig =
+      world.StartTool("brick", "migrate", {"-p", std::to_string(pid)}, test::kUserUid,
+                      world.console("brick"));
+  ASSERT_TRUE(world.RunUntilExited("brick", mig, sim::Seconds(300)));
+  EXPECT_EQ(world.ExitInfoOf("brick", mig).exit_code, 0);
+
+  const int32_t new_pid = world.FindPidByCommand("brick", "migrated");
+  ASSERT_GT(new_pid, 0);
+  EXPECT_NE(new_pid, pid);
+  world.console("brick")->Type("bb\n");
+  ASSERT_TRUE(world.cluster().RunUntil([&] {
+    return world.console("brick")->PlainOutput().find("r=3 s=3 k=3") != std::string::npos;
+  }));
+  EXPECT_EQ(world.FileContents("brick", "/u/user/counter.out"), "aa\nbb\n");
+}
+
+}  // namespace
+}  // namespace pmig

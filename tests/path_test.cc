@@ -1,0 +1,102 @@
+// Lexical path utilities — including the exact Section 5.1 combination rule the
+// modified kernel applies to the user-structure cwd string.
+
+#include "src/vfs/path.h"
+
+#include <gtest/gtest.h>
+
+namespace pmig::vfs {
+namespace {
+
+TEST(SplitPath, Basic) {
+  EXPECT_EQ(SplitPath("/a/b/c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitPath("a/b"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SplitPath, CollapsesSlashes) {
+  EXPECT_EQ(SplitPath("//a///b/"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SplitPath, EmptyAndRoot) {
+  EXPECT_TRUE(SplitPath("").empty());
+  EXPECT_TRUE(SplitPath("/").empty());
+  EXPECT_TRUE(SplitPath("///").empty());
+}
+
+TEST(SplitPath, KeepsDotComponents) {
+  EXPECT_EQ(SplitPath("./a/.."), (std::vector<std::string>{".", "a", ".."}));
+}
+
+TEST(JoinAbsolute, Basic) {
+  EXPECT_EQ(JoinAbsolute({}), "/");
+  EXPECT_EQ(JoinAbsolute({"a"}), "/a");
+  EXPECT_EQ(JoinAbsolute({"a", "b"}), "/a/b");
+}
+
+TEST(IsAbsolute, Basic) {
+  EXPECT_TRUE(IsAbsolute("/"));
+  EXPECT_TRUE(IsAbsolute("/a"));
+  EXPECT_FALSE(IsAbsolute("a"));
+  EXPECT_FALSE(IsAbsolute(""));
+}
+
+struct NormCase {
+  const char* input;
+  const char* expected;
+};
+
+class NormalizeTest : public ::testing::TestWithParam<NormCase> {};
+
+TEST_P(NormalizeTest, Normalizes) {
+  EXPECT_EQ(NormalizeAbsolute(GetParam().input), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, NormalizeTest,
+    ::testing::Values(NormCase{"/", "/"}, NormCase{"/a/b", "/a/b"},
+                      NormCase{"/a//b/", "/a/b"}, NormCase{"/a/./b", "/a/b"},
+                      NormCase{"/a/../b", "/b"}, NormCase{"/..", "/"},
+                      NormCase{"/../../a", "/a"}, NormCase{"/a/b/../../c", "/c"},
+                      NormCase{"/a/b/..", "/a"}, NormCase{"/a/.", "/a"},
+                      NormCase{"/./.", "/"}));
+
+struct CombineCase {
+  const char* cwd;
+  const char* path;
+  const char* expected;
+};
+
+class CombineTest : public ::testing::TestWithParam<CombineCase> {};
+
+TEST_P(CombineTest, Combines) {
+  EXPECT_EQ(Combine(GetParam().cwd, GetParam().path), GetParam().expected);
+}
+
+// The Section 5.1 rule: absolute arguments replace the cwd; relative arguments are
+// appended and "." / ".." are resolved textually (symlinks are NOT consulted).
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CombineTest,
+    ::testing::Values(CombineCase{"/u/user", "/etc", "/etc"},
+                      CombineCase{"/u/user", "src", "/u/user/src"},
+                      CombineCase{"/u/user", "..", "/u"},
+                      CombineCase{"/u/user", ".", "/u/user"},
+                      CombineCase{"/u/user", "../other/./x", "/u/other/x"},
+                      CombineCase{"/", "a", "/a"}, CombineCase{"/", "..", "/"},
+                      CombineCase{"/a", "b/c/../d", "/a/b/d"}));
+
+TEST(Dirname, Basic) {
+  EXPECT_EQ(Dirname("/a/b"), "/a");
+  EXPECT_EQ(Dirname("/a"), "/");
+  EXPECT_EQ(Dirname("/"), "/");
+  EXPECT_EQ(Dirname("/a/b/c/"), "/a/b");
+}
+
+TEST(Basename, Basic) {
+  EXPECT_EQ(Basename("/a/b"), "b");
+  EXPECT_EQ(Basename("/a"), "a");
+  EXPECT_EQ(Basename("/"), "");
+  EXPECT_EQ(Basename("/a/b/"), "b");
+}
+
+}  // namespace
+}  // namespace pmig::vfs

@@ -1,0 +1,291 @@
+// rest_proc() and the restart application: error paths, fd-table reconstruction,
+// terminal-mode restoration, credential rules.
+
+#include <gtest/gtest.h>
+
+#include "src/core/dump_format.h"
+#include "tests/test_util.h"
+
+namespace pmig {
+namespace {
+
+using core::DumpPaths;
+using kernel::SyscallApi;
+using test::kUserUid;
+using test::World;
+
+// Dumps a blocked counter on brick (via raw SIGDUMP, no dumpproc rewriting) and
+// returns its pid. With raw=false runs dumpproc so the files are rewritten.
+int32_t DumpCounter(World& world, bool run_dumpproc, int lines = 1,
+                    const char* program = "/bin/counter") {
+  const int32_t pid = world.StartVm("brick", program);
+  EXPECT_TRUE(world.RunUntilBlocked("brick", pid));
+  for (int i = 0; i < lines; ++i) {
+    world.console("brick")->Type("x\n");
+    EXPECT_TRUE(world.RunUntilBlocked("brick", pid));
+  }
+  if (run_dumpproc) {
+    const int32_t dp = world.StartTool("brick", "dumpproc", {"-p", std::to_string(pid)});
+    EXPECT_TRUE(world.RunUntilExited("brick", dp));
+    EXPECT_EQ(world.ExitInfoOf("brick", dp).exit_code, 0);
+  } else {
+    EXPECT_TRUE(world.host("brick").PostSignal(pid, vm::abi::kSigDump, nullptr).ok());
+  }
+  EXPECT_TRUE(world.RunUntilExited("brick", pid));
+  return pid;
+}
+
+// Runs a native entry as `uid` on brick and reports the rest_proc errno it saw.
+Errno BareRestProc(World& world, const std::string& aout, const std::string& stack,
+                   int32_t uid = kUserUid) {
+  kernel::Kernel& k = world.host("brick");
+  auto err = std::make_shared<Errno>(Errno::kOk);
+  kernel::SpawnOptions opts;
+  opts.creds = {uid, 10, uid, 10};
+  opts.tty = world.console("brick");
+  opts.cwd = "/u/user";
+  const int32_t pid = k.SpawnNative("bare",
+                                    [err, aout, stack](SyscallApi& api) {
+                                      *err = api.RestProc(aout, stack).error();
+                                      return 0;
+                                    },
+                                    opts);
+  world.RunUntilExited("brick", pid);
+  return *err;
+}
+
+TEST(RestProc, FailsOnMissingFiles) {
+  World world;
+  EXPECT_EQ(BareRestProc(world, "/usr/tmp/a.out1", "/usr/tmp/stack1"), Errno::kNoEnt);
+}
+
+TEST(RestProc, FailsOnBadStackMagic) {
+  World world;
+  const int32_t pid = DumpCounter(world, false);
+  const DumpPaths paths = DumpPaths::For(pid);
+  world.host("brick").vfs().SetupCreateFile(paths.stack, "garbage", kUserUid, 0600);
+  EXPECT_EQ(BareRestProc(world, paths.aout, paths.stack), Errno::kNoExec);
+}
+
+TEST(RestProc, FailsOnBadExecutable) {
+  World world;
+  const int32_t pid = DumpCounter(world, false);
+  const DumpPaths paths = DumpPaths::For(pid);
+  world.host("brick").vfs().SetupCreateFile(paths.aout, "garbage", kUserUid, 0600);
+  EXPECT_EQ(BareRestProc(world, paths.aout, paths.stack), Errno::kNoExec);
+}
+
+TEST(RestProc, FailsForNonOwner) {
+  // The dump files are 0600: another (non-root) user cannot read, hence cannot
+  // restart — "only the superuser or the owner of the original process".
+  World world;
+  const int32_t pid = DumpCounter(world, false);
+  const DumpPaths paths = DumpPaths::For(pid);
+  EXPECT_EQ(BareRestProc(world, paths.aout, paths.stack, /*uid=*/222), Errno::kAcces);
+}
+
+TEST(RestProc, SuperuserMayRestartAnyones) {
+  World world;
+  const int32_t pid = DumpCounter(world, false);
+  const DumpPaths paths = DumpPaths::For(pid);
+  kernel::Kernel& k = world.host("brick");
+  auto err = std::make_shared<Errno>(Errno::kOk);
+  kernel::SpawnOptions opts;  // root
+  opts.tty = world.console("brick");
+  opts.cwd = "/u/user";
+  const int32_t rp = k.SpawnNative("as-root",
+                                   [err, paths](SyscallApi& api) {
+                                     *err = api.RestProc(paths.aout, paths.stack).error();
+                                     return 1;  // only on failure
+                                   },
+                                   opts);
+  ASSERT_TRUE(world.cluster().RunUntil([&] {
+    const kernel::Proc* p = k.FindProc(rp);
+    return p != nullptr && p->kind == kernel::ProcKind::kVm;
+  }));
+  EXPECT_EQ(*err, Errno::kOk);
+  // The restored process runs under the *dumped* credentials, not root.
+  kernel::Proc* p = k.FindProc(rp);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->creds.uid, kUserUid);
+  EXPECT_EQ(p->creds.euid, kUserUid);
+}
+
+TEST(RestProc, CallerUntouchedAfterFailure) {
+  // "If the system call does return ... something was wrong" — and the caller
+  // must be able to continue as a normal process.
+  World world;
+  kernel::Kernel& k = world.host("brick");
+  auto after = std::make_shared<bool>(false);
+  kernel::SpawnOptions opts;
+  opts.creds = {kUserUid, 10, kUserUid, 10};
+  opts.tty = world.console("brick");
+  const int32_t pid = k.SpawnNative("survivor",
+                                    [after](SyscallApi& api) {
+                                      const Status st = api.RestProc("/nope", "/nope");
+                                      if (st.ok()) return 1;
+                                      // Still able to make syscalls afterwards:
+                                      *after = api.Write(1, "alive\n").ok();
+                                      return 0;
+                                    },
+                                    opts);
+  world.RunUntilExited("brick", pid);
+  EXPECT_TRUE(*after);
+  EXPECT_EQ(world.ExitInfoOf("brick", pid).exit_code, 0);
+}
+
+TEST(RestProc, RestoresSignalDispositions) {
+  World world;
+  const int32_t pid = DumpCounter(world, true, 0, "/bin/handler");
+  const int32_t rs = world.StartTool("brick", "restart", {"-p", std::to_string(pid)},
+                                     kUserUid, world.console("brick"));
+  kernel::Kernel& k = world.host("brick");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", rs));
+  kernel::Proc* p = k.FindProc(rs);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->sig_dispositions[vm::abi::kSigUsr1].action,
+            kernel::SignalDisposition::Action::kCatch);
+  EXPECT_EQ(p->sig_dispositions[vm::abi::kSigInt].action,
+            kernel::SignalDisposition::Action::kIgnore);
+  // And the handler still works post-migration.
+  ASSERT_TRUE(k.PostSignal(rs, vm::abi::kSigUsr1, nullptr).ok());
+  world.cluster().RunFor(sim::Millis(100));
+  world.console("brick")->ClearOutput();
+  world.console("brick")->Type("\n");
+  ASSERT_TRUE(world.cluster().RunUntil([&] {
+    return world.console("brick")->PlainOutput().find("1\n") != std::string::npos;
+  }));
+}
+
+TEST(Restart, ReopensFileWithModeAndOffset) {
+  World world;
+  const int32_t pid = DumpCounter(world, true, 2);
+  const int32_t rs = world.StartTool("brick", "restart", {"-p", std::to_string(pid)},
+                                     kUserUid, world.console("brick"));
+  ASSERT_TRUE(world.RunUntilBlocked("brick", rs));
+  kernel::Proc* p = world.host("brick").FindProc(rs);
+  ASSERT_NE(p, nullptr);
+  const kernel::OpenFilePtr& out = p->fds[3];
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->kind, kernel::FileKind::kInode);
+  EXPECT_TRUE((out->flags & vm::abi::kOAppend) != 0);
+  EXPECT_FALSE(out->readable());
+  EXPECT_EQ(out->offset, 4);  // "x\n" twice
+}
+
+TEST(Restart, MissingFileBecomesDevNull) {
+  World world;
+  const int32_t pid = DumpCounter(world, true, 1);
+  // Delete the output file between dump and restart.
+  kernel::Kernel& k = world.host("brick");
+  auto root = k.vfs().RootState();
+  auto dir = k.vfs().Resolve(root, "/u/user", vfs::Follow::kAll, nullptr);
+  ASSERT_TRUE(dir.ok());
+  ASSERT_TRUE(k.fs().Unlink(dir->inode, "counter.out").ok());
+
+  const int32_t rs = world.StartTool("brick", "restart", {"-p", std::to_string(pid)},
+                                     kUserUid, world.console("brick"));
+  ASSERT_TRUE(world.RunUntilBlocked("brick", rs));
+  kernel::Proc* p = k.FindProc(rs);
+  ASSERT_NE(p, nullptr);
+  const kernel::OpenFilePtr& slot3 = p->fds[3];
+  ASSERT_NE(slot3, nullptr);
+  ASSERT_EQ(slot3->kind, kernel::FileKind::kInode);
+  EXPECT_EQ(slot3->inode->device != nullptr &&
+                std::string(slot3->inode->device->DeviceName()) == "null",
+            true);
+  // The program keeps running; its appends just vanish.
+  world.console("brick")->Type("gone\n");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", rs));
+  EXPECT_FALSE(world.FileExists("brick", "/u/user/counter.out"));
+}
+
+TEST(Restart, UnusedSlotsStayClosed) {
+  World world;
+  const int32_t pid = DumpCounter(world, true);
+  const int32_t rs = world.StartTool("brick", "restart", {"-p", std::to_string(pid)},
+                                     kUserUid, world.console("brick"));
+  ASSERT_TRUE(world.RunUntilBlocked("brick", rs));
+  kernel::Proc* p = world.host("brick").FindProc(rs);
+  ASSERT_NE(p, nullptr);
+  // Slots 4.. were unused in the counter: the placeholders must be closed again.
+  for (int fd = 4; fd < kernel::kNoFile; ++fd) {
+    EXPECT_EQ(p->fds[static_cast<size_t>(fd)], nullptr) << fd;
+  }
+}
+
+TEST(Restart, RestoresTtyModes) {
+  World world;
+  // The editor puts its terminal in raw mode.
+  const int32_t pid = world.StartVm("brick", "/bin/editor");
+  ASSERT_TRUE(world.cluster().RunUntil([&] {
+    const kernel::Proc* p = world.host("brick").FindProc(pid);
+    return p != nullptr && p->state == kernel::ProcState::kBlocked;
+  }));
+  ASSERT_TRUE(world.console("brick")->raw());
+  const int32_t dp = world.StartTool("brick", "dumpproc", {"-p", std::to_string(pid)});
+  ASSERT_TRUE(world.RunUntilExited("brick", dp));
+  ASSERT_TRUE(world.RunUntilExited("brick", pid));
+
+  // Restart on schooner's console (cooked by default): restart must flip it raw.
+  ASSERT_FALSE(world.console("schooner")->raw());
+  const int32_t rs = world.StartTool("schooner", "restart",
+                                     {"-p", std::to_string(pid), "-h", "brick"},
+                                     kUserUid, world.console("schooner"));
+  ASSERT_TRUE(world.cluster().RunUntil([&] {
+    const kernel::Proc* p = world.host("schooner").FindProc(rs);
+    return p != nullptr && p->kind == kernel::ProcKind::kVm &&
+           p->state == kernel::ProcState::kBlocked;
+  }));
+  EXPECT_TRUE(world.console("schooner")->raw());
+  // Keystrokes reach the migrated editor character-at-a-time.
+  world.console("schooner")->Type("z");
+  ASSERT_TRUE(world.cluster().RunUntil([&] {
+    return world.console("schooner")->PlainOutput().find("[z]") != std::string::npos;
+  }));
+}
+
+TEST(Restart, FailsCleanlyWithoutDumpFiles) {
+  World world;
+  const int32_t rs = world.StartTool("brick", "restart", {"-p", "424242"});
+  ASSERT_TRUE(world.RunUntilExited("brick", rs));
+  EXPECT_NE(world.ExitInfoOf("brick", rs).exit_code, 0);
+}
+
+TEST(Restart, NonOwnerCannotRestart) {
+  World world;
+  const int32_t pid = DumpCounter(world, true);
+  // uid 222 tries to restart uid 100's process.
+  const int32_t rs = world.StartTool("brick", "restart", {"-p", std::to_string(pid)},
+                                     /*uid=*/222, world.console("brick"));
+  ASSERT_TRUE(world.RunUntilExited("brick", rs));
+  EXPECT_NE(world.ExitInfoOf("brick", rs).exit_code, 0);
+}
+
+TEST(Restart, DeepStackSurvivesMigration) {
+  World world;
+  // deepstack recurses 40 frames then prompts; dump there and restart on
+  // schooner; the recursion must unwind correctly afterwards.
+  const int32_t pid = world.StartVm("brick", "/bin/deepstack");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  EXPECT_NE(world.console("brick")->PlainOutput().find("deep>"), std::string::npos);
+  const int32_t dp = world.StartTool("brick", "dumpproc", {"-p", std::to_string(pid)});
+  ASSERT_TRUE(world.RunUntilExited("brick", dp));
+  ASSERT_TRUE(world.RunUntilExited("brick", pid));
+
+  const int32_t rs = world.StartTool("schooner", "restart",
+                                     {"-p", std::to_string(pid), "-h", "brick"},
+                                     kUserUid, world.console("schooner"));
+  ASSERT_TRUE(world.cluster().RunUntil([&] {
+    const kernel::Proc* p = world.host("schooner").FindProc(rs);
+    return p != nullptr && p->kind == kernel::ProcKind::kVm &&
+           p->state == kernel::ProcState::kBlocked;
+  }));
+  world.console("schooner")->Type("up\n");
+  ASSERT_TRUE(world.RunUntilExited("schooner", rs));
+  // sum = 40+39+...+1 = 820.
+  EXPECT_NE(world.console("schooner")->PlainOutput().find("sum=820"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmig

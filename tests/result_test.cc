@@ -1,0 +1,102 @@
+// Unit tests for Result/Status and the PMIG_TRY plumbing.
+
+#include "src/sim/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pmig {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.error(), Errno::kOk);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Errno::kNoEnt;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Errno::kNoEnt);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ValueOrReturnsValueOnSuccess) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r.value_or("fallback"), "hello");
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  std::unique_ptr<int> p = std::move(r).value();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.error(), Errno::kOk);
+}
+
+TEST(Status, CarriesError) {
+  Status st = Errno::kAcces;
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.error(), Errno::kAcces);
+}
+
+namespace try_helpers {
+
+Result<int> Fails() { return Errno::kBadF; }
+Result<int> Succeeds() { return 5; }
+
+Result<int> UseTrySuccess() {
+  PMIG_TRY(int v, Succeeds());
+  return v + 1;
+}
+
+Result<int> UseTryFailure() {
+  PMIG_TRY(int v, Fails());
+  return v + 1;  // unreachable
+}
+
+Status UseReturnIfError() {
+  PMIG_RETURN_IF_ERROR(Status(Errno::kIo));
+  return Status::Ok();
+}
+
+}  // namespace try_helpers
+
+TEST(Try, PropagatesSuccess) {
+  const Result<int> r = try_helpers::UseTrySuccess();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 6);
+}
+
+TEST(Try, PropagatesError) {
+  const Result<int> r = try_helpers::UseTryFailure();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Errno::kBadF);
+}
+
+TEST(Try, ReturnIfErrorPropagates) {
+  EXPECT_EQ(try_helpers::UseReturnIfError().error(), Errno::kIo);
+}
+
+TEST(ErrnoName, KnownValues) {
+  EXPECT_EQ(ErrnoName(Errno::kNoEnt), "ENOENT");
+  EXPECT_EQ(ErrnoName(Errno::kAcces), "EACCES");
+  EXPECT_EQ(ErrnoName(Errno::kLoop), "ELOOP");
+  EXPECT_EQ(ErrnoName(Errno::kOk), "OK");
+}
+
+}  // namespace
+}  // namespace pmig

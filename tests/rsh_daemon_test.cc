@@ -1,0 +1,214 @@
+// Remote execution: the rsh facility and the Section 6.4 migration daemon.
+
+#include <gtest/gtest.h>
+
+#include "src/net/migration_daemon.h"
+#include "src/net/rsh.h"
+#include "tests/test_util.h"
+
+namespace pmig {
+namespace {
+
+using kernel::SyscallApi;
+using test::kUserUid;
+using test::World;
+using test::WorldOptions;
+
+// Runs `fn` on brick's console as the test user; returns exit code.
+int RunOnBrick(World& world, kernel::NativeTask::Entry fn) {
+  kernel::SpawnOptions opts;
+  opts.creds = {kUserUid, 10, kUserUid, 10};
+  opts.tty = world.console("brick");
+  opts.cwd = "/u/user";
+  const int32_t pid = world.host("brick").SpawnNative("fn", std::move(fn), opts);
+  world.RunUntilExited("brick", pid, sim::Seconds(300));
+  return world.ExitInfoOf("brick", pid).exit_code;
+}
+
+TEST(Rsh, RunsCommandRemotelyAndForwardsOutput) {
+  World world;
+  net::Network* net = &world.cluster().network();
+  const int code = RunOnBrick(world, [net](SyscallApi& api) {
+    // `rsh schooner dumpproc` with no args: prints usage on (remote) stderr,
+    // exits 2; the output must arrive on our stdout.
+    const Result<int> rc = net::Rsh(api, *net, "schooner", "dumpproc", {});
+    return rc.ok() ? *rc : 127;
+  });
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(world.console("brick")->PlainOutput().find("usage: dumpproc"),
+            std::string::npos);
+}
+
+TEST(Rsh, UnknownHostIsUnreachable) {
+  World world;
+  net::Network* net = &world.cluster().network();
+  const int code = RunOnBrick(world, [net](SyscallApi& api) {
+    return net::Rsh(api, *net, "atlantis", "dumpproc", {}).error() == Errno::kHostUnreach
+               ? 0
+               : 1;
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(Rsh, UnknownProgramIsNoEnt) {
+  World world;
+  net::Network* net = &world.cluster().network();
+  const int code = RunOnBrick(world, [net](SyscallApi& api) {
+    return net::Rsh(api, *net, "schooner", "no-such-tool", {}).error() == Errno::kNoEnt ? 0
+                                                                                        : 1;
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(Rsh, ConnectionSetupDominatesElapsedTime) {
+  World world;
+  net::Network* net = &world.cluster().network();
+  const sim::Nanos t0 = world.cluster().clock().now();
+  RunOnBrick(world, [net](SyscallApi& api) {
+    const Result<int> rc = net::Rsh(api, *net, "schooner", "dumpproc", {});
+    return rc.ok() ? *rc : 127;
+  });
+  const sim::Nanos elapsed = world.cluster().clock().now() - t0;
+  EXPECT_GE(elapsed, world.cluster().costs().rsh_setup);
+}
+
+TEST(Rsh, RemoteCommandHasNoControllingTty) {
+  // The root of the visual-program limitation: under rsh there is no terminal.
+  World world;
+  net::Network* net = &world.cluster().network();
+  auto remote_has_tty = std::make_shared<bool>(true);
+  // Run a probe remotely via a registered program.
+  world.cluster().RegisterProgram(
+      "ttyprobe", [remote_has_tty](SyscallApi& api, const std::vector<std::string>&) {
+        *remote_has_tty = api.proc().controlling_tty != nullptr;
+        return api.Open("/dev/tty", vm::abi::kORdWr).ok() ? 10 : 20;
+      });
+  const int code = RunOnBrick(world, [net](SyscallApi& api) {
+    const Result<int> rc = net::Rsh(api, *net, "schooner", "ttyprobe", {});
+    return rc.ok() ? *rc : 127;
+  });
+  EXPECT_EQ(code, 20);  // /dev/tty open failed remotely
+  EXPECT_FALSE(*remote_has_tty);
+}
+
+TEST(Rsh, EditorMigratedOverRshLosesRawMode) {
+  // Section 4.1: "certain terminal modes can not be preserved when moving a
+  // process to a remote host ... making this command unsuitable for the migration
+  // of visually oriented programs."
+  World world;
+  const int32_t pid = world.StartVm("brick", "/bin/editor");
+  ASSERT_TRUE(world.cluster().RunUntil([&] {
+    const kernel::Proc* p = world.host("brick").FindProc(pid);
+    return p != nullptr && p->state == kernel::ProcState::kBlocked;
+  }));
+  ASSERT_TRUE(world.console("brick")->raw());
+
+  // migrate typed on BRICK with destination schooner: restart runs under rsh.
+  const int32_t mig = world.StartTool(
+      "brick", "migrate", {"-p", std::to_string(pid), "-f", "brick", "-t", "schooner"},
+      kUserUid, world.console("brick"));
+  ASSERT_TRUE(world.RunUntilExited("brick", mig, sim::Seconds(300)));
+  EXPECT_EQ(world.ExitInfoOf("brick", mig).exit_code, 0);
+
+  // The editor survived — but schooner's console was never switched to raw mode,
+  // and the editor's terminal went to /dev/null: the program is "useless".
+  const int32_t new_pid = world.FindPidByCommand("schooner", "migrated");
+  ASSERT_GT(new_pid, 0);
+  EXPECT_FALSE(world.console("schooner")->raw());
+  kernel::Proc* p = world.host("schooner").FindProc(new_pid);
+  ASSERT_NE(p, nullptr);
+  ASSERT_NE(p->fds[0], nullptr);
+  EXPECT_EQ(std::string(p->fds[0]->inode->device->DeviceName()), "null");
+}
+
+// --- The migration daemon (Section 6.4) ---
+
+TEST(Daemon, ExecutesRemoteCommand) {
+  WorldOptions options;
+  options.daemons = true;
+  World world(options);
+  net::Network* net = &world.cluster().network();
+  const int code = RunOnBrick(world, [net](SyscallApi& api) {
+    const Result<int> rc = net::DaemonExec(api, *net, "schooner", "dumpproc", {});
+    return rc.ok() ? *rc : 127;
+  });
+  EXPECT_EQ(code, 2);  // usage error from the remote dumpproc
+}
+
+TEST(Daemon, MuchFasterThanRsh) {
+  WorldOptions options;
+  options.daemons = true;
+  World world(options);
+  net::Network* net = &world.cluster().network();
+
+  const sim::Nanos t0 = world.cluster().clock().now();
+  RunOnBrick(world, [net](SyscallApi& api) {
+    const Result<int> rc = net::DaemonExec(api, *net, "schooner", "dumpproc", {});
+    return rc.ok() ? *rc : 127;
+  });
+  const sim::Nanos daemon_time = world.cluster().clock().now() - t0;
+
+  const sim::Nanos t1 = world.cluster().clock().now();
+  RunOnBrick(world, [net](SyscallApi& api) {
+    const Result<int> rc = net::Rsh(api, *net, "schooner", "dumpproc", {});
+    return rc.ok() ? *rc : 127;
+  });
+  const sim::Nanos rsh_time = world.cluster().clock().now() - t1;
+  EXPECT_LT(daemon_time * 3, rsh_time);  // the whole point of Section 6.4
+}
+
+TEST(Daemon, MissingDaemonIsUnreachable) {
+  World world;  // daemons not started
+  net::Network* net = &world.cluster().network();
+  const int code = RunOnBrick(world, [net](SyscallApi& api) {
+    return net::DaemonExec(api, *net, "schooner", "dumpproc", {}).error() ==
+                   Errno::kHostUnreach
+               ? 0
+               : 1;
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(Daemon, RunsRequestUnderRequesterCredentials) {
+  WorldOptions options;
+  options.daemons = true;
+  World world(options);
+  net::Network* net = &world.cluster().network();
+  auto seen_uid = std::make_shared<int32_t>(-1);
+  world.cluster().RegisterProgram(
+      "whoami", [seen_uid](SyscallApi& api, const std::vector<std::string>&) {
+        *seen_uid = api.GetUid();
+        return 0;
+      });
+  RunOnBrick(world, [net](SyscallApi& api) {
+    const Result<int> rc = net::DaemonExec(api, *net, "schooner", "whoami", {});
+    return rc.ok() ? *rc : 127;
+  });
+  EXPECT_EQ(*seen_uid, kUserUid);
+}
+
+TEST(Daemon, ServesMigrateEndToEnd) {
+  WorldOptions options;
+  options.daemons = true;
+  World world(options);
+  const int32_t pid = world.StartVm("brick", "/bin/counter");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  world.console("brick")->Type("d1\n");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+
+  const int32_t mig = world.StartTool(
+      "schooner", "migrate",
+      {"-p", std::to_string(pid), "-f", "brick", "-t", "schooner", "--daemon"}, kUserUid,
+      world.console("schooner"));
+  ASSERT_TRUE(world.RunUntilExited("schooner", mig, sim::Seconds(120)));
+  EXPECT_EQ(world.ExitInfoOf("schooner", mig).exit_code, 0);
+  const int32_t new_pid = world.FindPidByCommand("schooner", "migrated");
+  ASSERT_GT(new_pid, 0);
+  world.console("schooner")->Type("d2\n");
+  ASSERT_TRUE(world.cluster().RunUntil([&] {
+    return world.console("schooner")->PlainOutput().find("r=3 s=3 k=3") != std::string::npos;
+  }));
+}
+
+}  // namespace
+}  // namespace pmig

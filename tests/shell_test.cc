@@ -1,0 +1,174 @@
+// The msh shell: tokenizing, built-ins, command resolution, job control — and a
+// full migrate session driven entirely from the shell, the way the paper's users
+// did it.
+
+#include "src/core/shell.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace pmig {
+namespace {
+
+using core::TokenizeCommandLine;
+using test::kUserUid;
+using test::World;
+
+TEST(ShellTokenize, SplitsOnWhitespace) {
+  EXPECT_EQ(TokenizeCommandLine("migrate -p 100 -t schooner\n"),
+            (std::vector<std::string>{"migrate", "-p", "100", "-t", "schooner"}));
+  EXPECT_EQ(TokenizeCommandLine("  a\t b  \n"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(TokenizeCommandLine("   \n").empty());
+  EXPECT_TRUE(TokenizeCommandLine("").empty());
+}
+
+// Starts a shell on brick's console; returns its pid.
+int32_t StartShell(World& world, std::string_view host = "brick") {
+  return world.StartTool(host, "sh", {}, kUserUid, world.console(host));
+}
+
+// Occurrences of the shell prompt in a console's output so far.
+size_t PromptCount(World& world, std::string_view host) {
+  const std::string out = world.console(host)->PlainOutput();
+  size_t count = 0;
+  for (size_t at = out.find("$ "); at != std::string::npos; at = out.find("$ ", at + 2)) {
+    ++count;
+  }
+  return count;
+}
+
+// Types a command and waits until the shell has printed its NEXT prompt (i.e. the
+// command fully completed — merely "shell is blocked" could mean it is waiting on
+// a foreground child).
+void Command(World& world, int32_t shell, const std::string& line,
+             std::string_view host = "brick") {
+  const size_t before = PromptCount(world, host);
+  world.console(host)->Type(line + "\n");
+  ASSERT_TRUE(world.cluster().RunUntil([&world, host, before] {
+    return PromptCount(world, host) > before;
+  })) << line;
+  (void)shell;
+}
+
+TEST(Shell, PromptAndBuiltins) {
+  World world;
+  const int32_t shell = StartShell(world);
+  ASSERT_TRUE(world.RunUntilBlocked("brick", shell));
+  EXPECT_NE(world.console("brick")->PlainOutput().find("$ "), std::string::npos);
+
+  Command(world, shell, "pwd");
+  EXPECT_NE(world.console("brick")->PlainOutput().find("/\n"), std::string::npos);
+
+  Command(world, shell, "cd /usr/tmp");
+  Command(world, shell, "pwd");
+  EXPECT_NE(world.console("brick")->PlainOutput().find("/usr/tmp\n"), std::string::npos);
+
+  Command(world, shell, "cd /no/such/place");
+  EXPECT_NE(world.console("brick")->PlainOutput().find("no such directory"),
+            std::string::npos);
+
+  world.console("brick")->Type("exit 3\n");
+  ASSERT_TRUE(world.RunUntilExited("brick", shell));
+  EXPECT_EQ(world.ExitInfoOf("brick", shell).exit_code, 3);
+}
+
+TEST(Shell, ExitsOnEndOfFile) {
+  // A shell with /dev/null-ish stdin (no tty) reads EOF immediately.
+  World world;
+  kernel::Kernel& k = world.host("brick");
+  kernel::SpawnOptions opts;
+  opts.creds = {kUserUid, 10, kUserUid, 10};
+  const Result<int32_t> pid = k.SpawnProgram("sh", {}, opts);
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(world.RunUntilExited("brick", *pid, sim::Seconds(30)));
+  EXPECT_EQ(world.ExitInfoOf("brick", *pid).exit_code, 0);
+}
+
+TEST(Shell, RunsVmProgramsFromBin) {
+  World world;
+  const int32_t shell = StartShell(world);
+  ASSERT_TRUE(world.RunUntilBlocked("brick", shell));
+  Command(world, shell, "hog 1000");  // runs /bin/hog in the foreground
+  // Back at the prompt means the job completed and was reaped.
+  EXPECT_EQ(world.FindPidByCommand("brick", "hog"), -1);
+}
+
+TEST(Shell, RunsRegisteredToolsAndReportsUnknown) {
+  World world;
+  const int32_t shell = StartShell(world);
+  ASSERT_TRUE(world.RunUntilBlocked("brick", shell));
+  Command(world, shell, "ps");
+  EXPECT_NE(world.console("brick")->PlainOutput().find("PID STAT"), std::string::npos);
+  EXPECT_NE(world.console("brick")->PlainOutput().find("sh"), std::string::npos);
+
+  Command(world, shell, "frobnicate");
+  EXPECT_NE(world.console("brick")->PlainOutput().find("frobnicate: not found"),
+            std::string::npos);
+}
+
+TEST(Shell, BackgroundJobsRunAndGetReaped) {
+  World world;
+  const int32_t shell = StartShell(world);
+  ASSERT_TRUE(world.RunUntilBlocked("brick", shell));
+  Command(world, shell, "hog 200000 &");
+  // The hog runs while the shell prompts.
+  const int32_t hog = world.FindPidByCommand("brick", "hog");
+  ASSERT_GT(hog, 0);
+  Command(world, shell, "jobs");
+  EXPECT_NE(world.console("brick")->PlainOutput().find(std::to_string(hog)),
+            std::string::npos);
+  ASSERT_TRUE(world.RunUntilExited("brick", hog, sim::Seconds(30)));
+  // Next prompt announces completion.
+  Command(world, shell, "pwd");
+  EXPECT_NE(world.console("brick")->PlainOutput().find("[done] " + std::to_string(hog)),
+            std::string::npos);
+}
+
+TEST(Shell, FullMigrationSessionFromTheShell) {
+  // The Section 4.2 interaction, typed into shells on two machines.
+  World world;
+  const int32_t sh_brick = StartShell(world, "brick");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", sh_brick));
+  Command(world, sh_brick, "cd /u/user", "brick");  // a login shell's home
+  Command(world, sh_brick, "counter &", "brick");
+  const int32_t counter = world.FindPidByCommand("brick", "counter");
+  ASSERT_GT(counter, 0);
+  // The counter shares the console with the shell; its prompt appears too.
+  ASSERT_TRUE(world.RunUntilBlocked("brick", counter));
+
+  // dumpproc from brick's shell ("only ... the owner of the process can kill").
+  Command(world, sh_brick, "dumpproc -p " + std::to_string(counter), "brick");
+  ASSERT_TRUE(world.RunUntilExited("brick", counter));
+  EXPECT_TRUE(world.ExitInfoOf("brick", counter).migration_dumped);
+
+  // restart from schooner's shell, in the foreground: the shell hands the
+  // terminal to the restored program and waits, exactly like a 1988 shell.
+  const int32_t sh_schooner = StartShell(world, "schooner");
+  ASSERT_TRUE(world.RunUntilBlocked("schooner", sh_schooner));
+  world.console("schooner")->Type("restart -p " + std::to_string(counter) +
+                                  " -h brick\n");
+  ASSERT_TRUE(world.cluster().RunUntil([&] {
+    return world.FindPidByCommand("schooner", "migrated") > 0;
+  }));
+  const int32_t moved = world.FindPidByCommand("schooner", "migrated");
+  ASSERT_TRUE(world.RunUntilBlocked("schooner", moved));
+  world.console("schooner")->Type("onward\n");
+  ASSERT_TRUE(world.cluster().RunUntil([&] {
+    return world.console("schooner")->PlainOutput().find("r=2 s=2 k=2") !=
+           std::string::npos;
+  }));
+  EXPECT_EQ(world.FileContents("brick", "/u/user/counter.out"), "onward\n");
+  // The shell is still dutifully waiting on its foreground job; killing the
+  // migrated program brings the prompt back.
+  kernel::Proc* sh_proc = world.host("schooner").FindProc(sh_schooner);
+  ASSERT_NE(sh_proc, nullptr);
+  EXPECT_TRUE(sh_proc->Alive());
+  const size_t prompts = PromptCount(world, "schooner");
+  ASSERT_TRUE(world.host("schooner").PostSignal(moved, vm::abi::kSigKill, nullptr).ok());
+  ASSERT_TRUE(world.cluster().RunUntil(
+      [&] { return PromptCount(world, "schooner") > prompts; }));
+}
+
+}  // namespace
+}  // namespace pmig

@@ -1,0 +1,232 @@
+// Unit tests for the simulation base: virtual clock, RNG, trace log, byte codec,
+// and the cost-model helpers.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/bytes.h"
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/rng.h"
+#include "src/sim/trace.h"
+
+namespace pmig::sim {
+namespace {
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(VirtualClock, AdvanceMovesTime) {
+  VirtualClock clock;
+  clock.Advance(Millis(5));
+  EXPECT_EQ(clock.now(), Millis(5));
+}
+
+TEST(VirtualClock, TimerFiresAtDeadline) {
+  VirtualClock clock;
+  Nanos fired_at = -1;
+  clock.CallAfter(Millis(10), [&] { fired_at = clock.now(); });
+  clock.Advance(Millis(5));
+  EXPECT_EQ(fired_at, -1);
+  clock.Advance(Millis(5));
+  EXPECT_EQ(fired_at, Millis(10));
+}
+
+TEST(VirtualClock, TimersFireInDeadlineOrder) {
+  VirtualClock clock;
+  std::vector<int> order;
+  clock.CallAfter(Millis(20), [&] { order.push_back(2); });
+  clock.CallAfter(Millis(10), [&] { order.push_back(1); });
+  clock.CallAfter(Millis(30), [&] { order.push_back(3); });
+  clock.Advance(Millis(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(VirtualClock, EqualDeadlinesFireFifo) {
+  VirtualClock clock;
+  std::vector<int> order;
+  clock.CallAfter(Millis(10), [&] { order.push_back(1); });
+  clock.CallAfter(Millis(10), [&] { order.push_back(2); });
+  clock.Advance(Millis(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(VirtualClock, CancelledTimerDoesNotFire) {
+  VirtualClock clock;
+  bool fired = false;
+  const uint64_t id = clock.CallAfter(Millis(10), [&] { fired = true; });
+  clock.CancelTimer(id);
+  clock.Advance(Millis(20));
+  EXPECT_FALSE(fired);
+}
+
+TEST(VirtualClock, TimerMayScheduleAnotherTimer) {
+  VirtualClock clock;
+  bool inner = false;
+  clock.CallAfter(Millis(10), [&] {
+    clock.CallAfter(Millis(10), [&] { inner = true; });
+  });
+  clock.Advance(Millis(30));
+  EXPECT_TRUE(inner);
+}
+
+TEST(VirtualClock, NextDeadlineReportsEarliest) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.NextDeadline(), -1);
+  clock.CallAfter(Millis(50), [] {});
+  clock.CallAfter(Millis(20), [] {});
+  EXPECT_EQ(clock.NextDeadline(), Millis(20));
+}
+
+TEST(VirtualClock, NowInsideTimerEqualsDeadline) {
+  VirtualClock clock;
+  Nanos inside = -1;
+  clock.CallAfter(Millis(7), [&] { inside = clock.now(); });
+  clock.Advance(Millis(100));
+  EXPECT_EQ(inside, Millis(7));
+  EXPECT_EQ(clock.now(), Millis(100));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(13), 13u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.Double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, IdentHasRequestedLength) {
+  Rng rng(3);
+  EXPECT_EQ(rng.Ident(8).size(), 8u);
+}
+
+TEST(TraceLog, DisabledByDefault) {
+  TraceLog log;
+  log.Add(TraceEvent{0, TraceCategory::kApp, "h", 1, "x"});
+  EXPECT_TRUE(log.events().empty());
+}
+
+TEST(TraceLog, RecordsWhenEnabled) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.Add(TraceEvent{Millis(1), TraceCategory::kSignal, "brick", 100, "signal 3 posted"});
+  ASSERT_EQ(log.events().size(), 1u);
+  EXPECT_EQ(log.CountMatching("signal 3"), 1u);
+  EXPECT_EQ(log.CountMatching("nope"), 0u);
+}
+
+TEST(TraceLog, BoundedCapacity) {
+  TraceLog log(4);
+  log.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    log.Add(TraceEvent{0, TraceCategory::kApp, "h", i, "e" + std::to_string(i)});
+  }
+  EXPECT_EQ(log.events().size(), 4u);
+  EXPECT_EQ(log.events().front().pid, 6);
+}
+
+TEST(TraceLog, FormatContainsFields) {
+  TraceEvent e{Seconds(2), TraceCategory::kMigration, "brick", 123, "hello"};
+  const std::string s = e.Format();
+  EXPECT_NE(s.find("migration"), std::string::npos);
+  EXPECT_NE(s.find("brick:123"), std::string::npos);
+  EXPECT_NE(s.find("hello"), std::string::npos);
+}
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.U8(0xAB);
+  w.U16(0xCDEF);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFull);
+  w.I32(-7);
+  w.I64(-9000000000LL);
+  ByteReader r(w.str());
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U16(), 0xCDEF);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.I32(), -7);
+  EXPECT_EQ(r.I64(), -9000000000LL);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Bytes, RoundTripStringAndBlob) {
+  ByteWriter w;
+  w.Str("hello world");
+  w.Blob({1, 2, 3});
+  ByteReader r(w.str());
+  EXPECT_EQ(r.Str(), "hello world");
+  EXPECT_EQ(r.Blob(), (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Bytes, TruncatedInputSetsNotOk) {
+  ByteWriter w;
+  w.U32(5);
+  ByteReader r(w.str().substr(0, 2));
+  (void)r.U32();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, OversizedStringLengthFailsGracefully) {
+  ByteWriter w;
+  w.U32(1000);  // claims 1000 bytes, provides none
+  ByteReader r(w.str());
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CostModel, DiskIoRoundsUpBlocks) {
+  CostModel costs;
+  EXPECT_EQ(costs.DiskIo(1).wait, costs.disk_block_latency);
+  EXPECT_EQ(costs.DiskIo(costs.disk_block_bytes).wait, costs.disk_block_latency);
+  EXPECT_EQ(costs.DiskIo(costs.disk_block_bytes + 1).wait, 2 * costs.disk_block_latency);
+  EXPECT_EQ(costs.DiskIo(0).wait, 0);
+  EXPECT_EQ(costs.DiskIo(0).cpu, 0);
+}
+
+TEST(CostModel, NetIoIncludesRpcLatency) {
+  CostModel costs;
+  EXPECT_GE(costs.NetIo(0).wait, costs.nfs_rpc);
+  EXPECT_GT(costs.NetIo(1000).wait, costs.NetIo(10).wait);
+}
+
+}  // namespace
+}  // namespace pmig::sim

@@ -1,0 +1,16 @@
+// Test alias for the shared cluster fixture.
+
+#ifndef PMIG_TESTS_TEST_UTIL_H_
+#define PMIG_TESTS_TEST_UTIL_H_
+
+#include "src/cluster/testbed.h"
+
+namespace pmig::test {
+
+using World = testbed::Testbed;
+using WorldOptions = testbed::TestbedOptions;
+using testbed::kUserUid;
+
+}  // namespace pmig::test
+
+#endif  // PMIG_TESTS_TEST_UTIL_H_

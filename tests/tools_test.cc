@@ -1,0 +1,223 @@
+// User-level tool internals: Realpath, dumpproc's path rewriting (symlink
+// resolution, /dev/tty substitution, /n/<host> prepending), argument parsing,
+// and migrate's error handling.
+
+#include "src/core/tools.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/dump_format.h"
+#include "tests/test_util.h"
+
+namespace pmig {
+namespace {
+
+using core::DumpPaths;
+using core::FilesEntry;
+using core::FilesFile;
+using kernel::SyscallApi;
+using test::kUserUid;
+using test::World;
+using test::WorldOptions;
+
+// Runs `fn` as a native process on `host`; returns its exit code.
+int RunOn(World& world, std::string_view host, kernel::NativeTask::Entry fn) {
+  kernel::SpawnOptions opts;
+  opts.creds = {kUserUid, 10, kUserUid, 10};
+  opts.tty = world.console(host);
+  opts.cwd = "/u/user";
+  const int32_t pid = world.host(host).SpawnNative("fn", std::move(fn), opts);
+  world.RunUntilExited(host, pid);
+  return world.ExitInfoOf(host, pid).exit_code;
+}
+
+TEST(Realpath, PassesThroughPlainPaths) {
+  World world;
+  world.host("brick").vfs().SetupCreateFile("/a/b/f", "x");
+  const int code = RunOn(world, "brick", [](SyscallApi& api) {
+    const Result<std::string> r = core::Realpath(api, "/a/b/f");
+    return (r.ok() && *r == "/a/b/f") ? 0 : 1;
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(Realpath, ResolvesMiddleSymlink) {
+  World world;
+  world.host("brick").vfs().SetupCreateFile("/real/f", "x");
+  world.host("brick").vfs().SetupSymlink("/alias", "/real");
+  const int code = RunOn(world, "brick", [](SyscallApi& api) {
+    const Result<std::string> r = core::Realpath(api, "/alias/f");
+    return (r.ok() && *r == "/real/f") ? 0 : 1;
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(Realpath, ResolvesChainsAndRelativeTargets) {
+  World world;
+  auto& v = world.host("brick").vfs();
+  v.SetupCreateFile("/x/y/f", "x");
+  v.SetupSymlink("/l1", "/l2");
+  v.SetupSymlink("/l2", "x");    // relative: /x
+  v.SetupSymlink("/x/yy", "y");  // relative within /x
+  const int code = RunOn(world, "brick", [](SyscallApi& api) {
+    const Result<std::string> r = core::Realpath(api, "/l1/yy/f");
+    return (r.ok() && *r == "/x/y/f") ? 0 : 1;
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(Realpath, RelativeInputUsesCwd) {
+  World world;
+  world.host("brick").vfs().SetupCreateFile("/u/user/doc.txt", "x");
+  const int code = RunOn(world, "brick", [](SyscallApi& api) {
+    const Result<std::string> r = core::Realpath(api, "doc.txt");
+    return (r.ok() && *r == "/u/user/doc.txt") ? 0 : 1;
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(Realpath, NonexistentLeafIsAllowed) {
+  World world;
+  const int code = RunOn(world, "brick", [](SyscallApi& api) {
+    const Result<std::string> r = core::Realpath(api, "/u/user/not-yet");
+    return (r.ok() && *r == "/u/user/not-yet") ? 0 : 1;
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(Realpath, LoopFails) {
+  World world;
+  world.host("brick").vfs().SetupSymlink("/loop", "/loop");
+  const int code = RunOn(world, "brick", [](SyscallApi& api) {
+    return core::Realpath(api, "/loop/x").error() == Errno::kLoop ? 0 : 1;
+  });
+  EXPECT_EQ(code, 0);
+}
+
+// --- dumpproc rewriting ---
+
+// Stages a dumped counter whose output file is reached through a symlink, then
+// checks the rewritten filesXXXXX.
+TEST(DumpprocRewrite, ResolvesSymlinksAndPrependsHost) {
+  World world;
+  // /u/user is real on brick; add a symlinked data directory.
+  auto& v = world.host("brick").vfs();
+  v.SetupMkdirAll("/export/data")->uid = kUserUid;
+  v.SetupSymlink("/u/user/data", "/export/data");
+
+  // A counter run with cwd inside the symlinked directory.
+  const int32_t pid = world.StartVm("brick", "/bin/counter", {}, "/u/user/data");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  world.console("brick")->Type("hi\n");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+
+  const int32_t dp = world.StartTool("brick", "dumpproc", {"-p", std::to_string(pid)});
+  ASSERT_TRUE(world.RunUntilExited("brick", dp));
+  ASSERT_EQ(world.ExitInfoOf("brick", dp).exit_code, 0);
+
+  const Result<FilesFile> files =
+      FilesFile::Parse(world.FileContents("brick", DumpPaths::For(pid).files));
+  ASSERT_TRUE(files.ok());
+  // cwd: textual /u/user/data -> resolved /export/data -> prefixed /n/brick.
+  EXPECT_EQ(files->cwd, "/n/brick/export/data");
+  // The terminal became /dev/tty.
+  EXPECT_EQ(files->entries[0].path, "/dev/tty");
+  EXPECT_EQ(files->entries[1].path, "/dev/tty");
+  // counter.out: symlink resolved + host prefix.
+  EXPECT_EQ(files->entries[3].path, "/n/brick/export/data/counter.out");
+}
+
+TEST(DumpprocRewrite, AlreadyRemotePathsLeftAlone) {
+  WorldOptions options;
+  options.file_server_home = true;  // /u/user -> /n/schooner/u2/user on both hosts
+  World world(options);
+  const int32_t pid = world.StartVm("brick", "/bin/counter");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  const int32_t dp = world.StartTool("brick", "dumpproc", {"-p", std::to_string(pid)});
+  ASSERT_TRUE(world.RunUntilExited("brick", dp));
+  ASSERT_EQ(world.ExitInfoOf("brick", dp).exit_code, 0);
+
+  const Result<FilesFile> files =
+      FilesFile::Parse(world.FileContents("brick", DumpPaths::For(pid).files));
+  ASSERT_TRUE(files.ok());
+  // The home is already a /n/... name after symlink resolution: no double prefix.
+  EXPECT_EQ(files->cwd, "/n/schooner/u2/user");
+  EXPECT_EQ(files->entries[3].path, "/n/schooner/u2/user/counter.out");
+}
+
+TEST(Dumpproc, FailsForUnknownPid) {
+  World world;
+  const int32_t dp = world.StartTool("brick", "dumpproc", {"-p", "999999"});
+  ASSERT_TRUE(world.RunUntilExited("brick", dp));
+  EXPECT_NE(world.ExitInfoOf("brick", dp).exit_code, 0);
+}
+
+TEST(Dumpproc, NonOwnerCannotDump) {
+  World world;
+  const int32_t pid = world.StartVm("brick", "/bin/counter");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  const int32_t dp = world.StartTool("brick", "dumpproc", {"-p", std::to_string(pid)},
+                                     /*uid=*/222);
+  ASSERT_TRUE(world.RunUntilExited("brick", dp));
+  EXPECT_NE(world.ExitInfoOf("brick", dp).exit_code, 0);
+  // The victim is untouched.
+  kernel::Proc* p = world.host("brick").FindProc(pid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->Alive());
+}
+
+TEST(Dumpproc, SuperuserMayDumpAnyones) {
+  World world;
+  const int32_t pid = world.StartVm("brick", "/bin/counter");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  const int32_t dp = world.StartTool("brick", "dumpproc", {"-p", std::to_string(pid)},
+                                     /*uid=*/0);
+  ASSERT_TRUE(world.RunUntilExited("brick", dp));
+  EXPECT_EQ(world.ExitInfoOf("brick", dp).exit_code, 0);
+}
+
+// --- argument parsing ---
+
+TEST(ToolArgs, UsageErrorsExitTwo) {
+  World world;
+  for (const auto& [program, args] :
+       std::vector<std::pair<std::string, std::vector<std::string>>>{
+           {"dumpproc", {}},
+           {"dumpproc", {"-p"}},
+           {"restart", {"-h", "brick"}},
+           {"migrate", {"-f", "brick"}},
+           {"undump", {"only", "two"}},
+       }) {
+    const int32_t pid = world.StartTool("brick", program, args);
+    ASSERT_TRUE(world.RunUntilExited("brick", pid)) << program;
+    EXPECT_EQ(world.ExitInfoOf("brick", pid).exit_code, 2) << program;
+  }
+}
+
+TEST(ToolArgs, ComplaintsGoToStderr) {
+  World world;
+  const int32_t pid = world.StartTool("brick", "dumpproc", {});
+  ASSERT_TRUE(world.RunUntilExited("brick", pid));
+  EXPECT_NE(world.tty("brick", "ttyp0")->PlainOutput().find("usage: dumpproc"),
+            std::string::npos);
+}
+
+TEST(Migrate, FailsCleanlyOnUnknownHost) {
+  World world;
+  const int32_t pid = world.StartVm("brick", "/bin/counter");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  const int32_t mig = world.StartTool(
+      "brick", "migrate", {"-p", std::to_string(pid), "-t", "nonesuch"});
+  ASSERT_TRUE(world.RunUntilExited("brick", mig, sim::Seconds(120)));
+  EXPECT_NE(world.ExitInfoOf("brick", mig).exit_code, 0);
+}
+
+TEST(Migrate, FailsCleanlyOnBadPid) {
+  World world;
+  const int32_t mig = world.StartTool("brick", "migrate", {"-p", "31337"});
+  ASSERT_TRUE(world.RunUntilExited("brick", mig, sim::Seconds(120)));
+  EXPECT_NE(world.ExitInfoOf("brick", mig).exit_code, 0);
+}
+
+}  // namespace
+}  // namespace pmig
