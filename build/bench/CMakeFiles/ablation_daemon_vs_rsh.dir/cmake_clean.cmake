@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_daemon_vs_rsh.dir/ablation_daemon_vs_rsh.cc.o"
+  "CMakeFiles/ablation_daemon_vs_rsh.dir/ablation_daemon_vs_rsh.cc.o.d"
+  "ablation_daemon_vs_rsh"
+  "ablation_daemon_vs_rsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_daemon_vs_rsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

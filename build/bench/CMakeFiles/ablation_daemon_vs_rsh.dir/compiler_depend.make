@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_daemon_vs_rsh.
+# This may be replaced when dependencies are built.

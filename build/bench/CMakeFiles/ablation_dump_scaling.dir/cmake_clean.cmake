@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dump_scaling.dir/ablation_dump_scaling.cc.o"
+  "CMakeFiles/ablation_dump_scaling.dir/ablation_dump_scaling.cc.o.d"
+  "ablation_dump_scaling"
+  "ablation_dump_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dump_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loadbalance.dir/ablation_loadbalance.cc.o"
+  "CMakeFiles/ablation_loadbalance.dir/ablation_loadbalance.cc.o.d"
+  "ablation_loadbalance"
+  "ablation_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

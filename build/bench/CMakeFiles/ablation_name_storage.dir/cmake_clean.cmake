@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_name_storage.dir/ablation_name_storage.cc.o"
+  "CMakeFiles/ablation_name_storage.dir/ablation_name_storage.cc.o.d"
+  "ablation_name_storage"
+  "ablation_name_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_name_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

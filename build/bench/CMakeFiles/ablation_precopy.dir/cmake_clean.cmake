@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_precopy.dir/ablation_precopy.cc.o"
+  "CMakeFiles/ablation_precopy.dir/ablation_precopy.cc.o.d"
+  "ablation_precopy"
+  "ablation_precopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_precopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_syscall_overhead.dir/fig1_syscall_overhead.cc.o"
+  "CMakeFiles/fig1_syscall_overhead.dir/fig1_syscall_overhead.cc.o.d"
+  "fig1_syscall_overhead"
+  "fig1_syscall_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_syscall_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

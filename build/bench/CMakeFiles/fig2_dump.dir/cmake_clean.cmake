@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dump.dir/fig2_dump.cc.o"
+  "CMakeFiles/fig2_dump.dir/fig2_dump.cc.o.d"
+  "fig2_dump"
+  "fig2_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_restart.dir/fig3_restart.cc.o"
+  "CMakeFiles/fig3_restart.dir/fig3_restart.cc.o.d"
+  "fig3_restart"
+  "fig3_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_migrate.dir/fig4_migrate.cc.o"
+  "CMakeFiles/fig4_migrate.dir/fig4_migrate.cc.o.d"
+  "fig4_migrate"
+  "fig4_migrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_migrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_long_job.dir/checkpoint_long_job.cpp.o"
+  "CMakeFiles/checkpoint_long_job.dir/checkpoint_long_job.cpp.o.d"
+  "checkpoint_long_job"
+  "checkpoint_long_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_long_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evacuation.dir/evacuation.cpp.o"
+  "CMakeFiles/evacuation.dir/evacuation.cpp.o.d"
+  "evacuation"
+  "evacuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evacuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for evacuation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/night_shift.dir/night_shift.cpp.o"
+  "CMakeFiles/night_shift.dir/night_shift.cpp.o.d"
+  "night_shift"
+  "night_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/night_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

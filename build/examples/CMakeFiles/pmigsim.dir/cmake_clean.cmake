@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmigsim.dir/pmigsim.cpp.o"
+  "CMakeFiles/pmigsim.dir/pmigsim.cpp.o.d"
+  "pmigsim"
+  "pmigsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmigsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pmigsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visual_editor_migration.dir/visual_editor_migration.cpp.o"
+  "CMakeFiles/visual_editor_migration.dir/visual_editor_migration.cpp.o.d"
+  "visual_editor_migration"
+  "visual_editor_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visual_editor_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/checkpoint.cc" "src/CMakeFiles/pmig.dir/apps/checkpoint.cc.o" "gcc" "src/CMakeFiles/pmig.dir/apps/checkpoint.cc.o.d"
+  "/root/repo/src/apps/evacuate.cc" "src/CMakeFiles/pmig.dir/apps/evacuate.cc.o" "gcc" "src/CMakeFiles/pmig.dir/apps/evacuate.cc.o.d"
+  "/root/repo/src/apps/load_balancer.cc" "src/CMakeFiles/pmig.dir/apps/load_balancer.cc.o" "gcc" "src/CMakeFiles/pmig.dir/apps/load_balancer.cc.o.d"
+  "/root/repo/src/apps/night_shift.cc" "src/CMakeFiles/pmig.dir/apps/night_shift.cc.o" "gcc" "src/CMakeFiles/pmig.dir/apps/night_shift.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/pmig.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/pmig.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/core/dump_format.cc" "src/CMakeFiles/pmig.dir/core/dump_format.cc.o" "gcc" "src/CMakeFiles/pmig.dir/core/dump_format.cc.o.d"
+  "/root/repo/src/core/precopy.cc" "src/CMakeFiles/pmig.dir/core/precopy.cc.o" "gcc" "src/CMakeFiles/pmig.dir/core/precopy.cc.o.d"
+  "/root/repo/src/core/rest_proc.cc" "src/CMakeFiles/pmig.dir/core/rest_proc.cc.o" "gcc" "src/CMakeFiles/pmig.dir/core/rest_proc.cc.o.d"
+  "/root/repo/src/core/setup.cc" "src/CMakeFiles/pmig.dir/core/setup.cc.o" "gcc" "src/CMakeFiles/pmig.dir/core/setup.cc.o.d"
+  "/root/repo/src/core/shell.cc" "src/CMakeFiles/pmig.dir/core/shell.cc.o" "gcc" "src/CMakeFiles/pmig.dir/core/shell.cc.o.d"
+  "/root/repo/src/core/sigdump.cc" "src/CMakeFiles/pmig.dir/core/sigdump.cc.o" "gcc" "src/CMakeFiles/pmig.dir/core/sigdump.cc.o.d"
+  "/root/repo/src/core/test_programs.cc" "src/CMakeFiles/pmig.dir/core/test_programs.cc.o" "gcc" "src/CMakeFiles/pmig.dir/core/test_programs.cc.o.d"
+  "/root/repo/src/core/tools.cc" "src/CMakeFiles/pmig.dir/core/tools.cc.o" "gcc" "src/CMakeFiles/pmig.dir/core/tools.cc.o.d"
+  "/root/repo/src/kernel/core_file.cc" "src/CMakeFiles/pmig.dir/kernel/core_file.cc.o" "gcc" "src/CMakeFiles/pmig.dir/kernel/core_file.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/CMakeFiles/pmig.dir/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/pmig.dir/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/native.cc" "src/CMakeFiles/pmig.dir/kernel/native.cc.o" "gcc" "src/CMakeFiles/pmig.dir/kernel/native.cc.o.d"
+  "/root/repo/src/kernel/signals.cc" "src/CMakeFiles/pmig.dir/kernel/signals.cc.o" "gcc" "src/CMakeFiles/pmig.dir/kernel/signals.cc.o.d"
+  "/root/repo/src/kernel/syscalls.cc" "src/CMakeFiles/pmig.dir/kernel/syscalls.cc.o" "gcc" "src/CMakeFiles/pmig.dir/kernel/syscalls.cc.o.d"
+  "/root/repo/src/kernel/tty.cc" "src/CMakeFiles/pmig.dir/kernel/tty.cc.o" "gcc" "src/CMakeFiles/pmig.dir/kernel/tty.cc.o.d"
+  "/root/repo/src/net/migration_daemon.cc" "src/CMakeFiles/pmig.dir/net/migration_daemon.cc.o" "gcc" "src/CMakeFiles/pmig.dir/net/migration_daemon.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/pmig.dir/net/network.cc.o" "gcc" "src/CMakeFiles/pmig.dir/net/network.cc.o.d"
+  "/root/repo/src/net/rsh.cc" "src/CMakeFiles/pmig.dir/net/rsh.cc.o" "gcc" "src/CMakeFiles/pmig.dir/net/rsh.cc.o.d"
+  "/root/repo/src/sim/clock.cc" "src/CMakeFiles/pmig.dir/sim/clock.cc.o" "gcc" "src/CMakeFiles/pmig.dir/sim/clock.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/pmig.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/pmig.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/result.cc" "src/CMakeFiles/pmig.dir/sim/result.cc.o" "gcc" "src/CMakeFiles/pmig.dir/sim/result.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/pmig.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/pmig.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/pmig.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/pmig.dir/sim/trace.cc.o.d"
+  "/root/repo/src/vfs/filesystem.cc" "src/CMakeFiles/pmig.dir/vfs/filesystem.cc.o" "gcc" "src/CMakeFiles/pmig.dir/vfs/filesystem.cc.o.d"
+  "/root/repo/src/vfs/inode.cc" "src/CMakeFiles/pmig.dir/vfs/inode.cc.o" "gcc" "src/CMakeFiles/pmig.dir/vfs/inode.cc.o.d"
+  "/root/repo/src/vfs/path.cc" "src/CMakeFiles/pmig.dir/vfs/path.cc.o" "gcc" "src/CMakeFiles/pmig.dir/vfs/path.cc.o.d"
+  "/root/repo/src/vfs/vfs.cc" "src/CMakeFiles/pmig.dir/vfs/vfs.cc.o" "gcc" "src/CMakeFiles/pmig.dir/vfs/vfs.cc.o.d"
+  "/root/repo/src/vm/aout.cc" "src/CMakeFiles/pmig.dir/vm/aout.cc.o" "gcc" "src/CMakeFiles/pmig.dir/vm/aout.cc.o.d"
+  "/root/repo/src/vm/assembler.cc" "src/CMakeFiles/pmig.dir/vm/assembler.cc.o" "gcc" "src/CMakeFiles/pmig.dir/vm/assembler.cc.o.d"
+  "/root/repo/src/vm/cpu.cc" "src/CMakeFiles/pmig.dir/vm/cpu.cc.o" "gcc" "src/CMakeFiles/pmig.dir/vm/cpu.cc.o.d"
+  "/root/repo/src/vm/disassembler.cc" "src/CMakeFiles/pmig.dir/vm/disassembler.cc.o" "gcc" "src/CMakeFiles/pmig.dir/vm/disassembler.cc.o.d"
+  "/root/repo/src/vm/isa.cc" "src/CMakeFiles/pmig.dir/vm/isa.cc.o" "gcc" "src/CMakeFiles/pmig.dir/vm/isa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assembler_test.dir/assembler_test.cc.o"
+  "CMakeFiles/assembler_test.dir/assembler_test.cc.o.d"
+  "assembler_test"
+  "assembler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_test.dir/cpu_test.cc.o"
+  "CMakeFiles/cpu_test.dir/cpu_test.cc.o.d"
+  "cpu_test"
+  "cpu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

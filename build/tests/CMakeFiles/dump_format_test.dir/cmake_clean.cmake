@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_format_test.dir/dump_format_test.cc.o"
+  "CMakeFiles/dump_format_test.dir/dump_format_test.cc.o.d"
+  "dump_format_test"
+  "dump_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_syscall_test.dir/fs_syscall_test.cc.o"
+  "CMakeFiles/fs_syscall_test.dir/fs_syscall_test.cc.o.d"
+  "fs_syscall_test"
+  "fs_syscall_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_syscall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limitations_test.dir/limitations_test.cc.o"
+  "CMakeFiles/limitations_test.dir/limitations_test.cc.o.d"
+  "limitations_test"
+  "limitations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limitations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

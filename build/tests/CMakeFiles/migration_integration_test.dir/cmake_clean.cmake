@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_integration_test.dir/migration_integration_test.cc.o"
+  "CMakeFiles/migration_integration_test.dir/migration_integration_test.cc.o.d"
+  "migration_integration_test"
+  "migration_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

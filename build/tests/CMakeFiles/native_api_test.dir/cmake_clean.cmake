@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_api_test.dir/native_api_test.cc.o"
+  "CMakeFiles/native_api_test.dir/native_api_test.cc.o.d"
+  "native_api_test"
+  "native_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for native_api_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precopy_test.dir/precopy_test.cc.o"
+  "CMakeFiles/precopy_test.dir/precopy_test.cc.o.d"
+  "precopy_test"
+  "precopy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precopy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restart_test.dir/restart_test.cc.o"
+  "CMakeFiles/restart_test.dir/restart_test.cc.o.d"
+  "restart_test"
+  "restart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

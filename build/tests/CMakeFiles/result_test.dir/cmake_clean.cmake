@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_test.dir/result_test.cc.o"
+  "CMakeFiles/result_test.dir/result_test.cc.o.d"
+  "result_test"
+  "result_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

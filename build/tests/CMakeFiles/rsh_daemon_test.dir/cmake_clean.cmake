@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsh_daemon_test.dir/rsh_daemon_test.cc.o"
+  "CMakeFiles/rsh_daemon_test.dir/rsh_daemon_test.cc.o.d"
+  "rsh_daemon_test"
+  "rsh_daemon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsh_daemon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

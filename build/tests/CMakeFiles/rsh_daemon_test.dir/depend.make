@@ -1,0 +1,2 @@
+# Empty dependencies file for rsh_daemon_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigdump_test.dir/sigdump_test.cc.o"
+  "CMakeFiles/sigdump_test.dir/sigdump_test.cc.o.d"
+  "sigdump_test"
+  "sigdump_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigdump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

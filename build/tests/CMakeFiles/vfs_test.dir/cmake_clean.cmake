@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfs_test.dir/vfs_test.cc.o"
+  "CMakeFiles/vfs_test.dir/vfs_test.cc.o.d"
+  "vfs_test"
+  "vfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

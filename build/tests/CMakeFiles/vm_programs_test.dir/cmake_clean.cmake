@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_programs_test.dir/vm_programs_test.cc.o"
+  "CMakeFiles/vm_programs_test.dir/vm_programs_test.cc.o.d"
+  "vm_programs_test"
+  "vm_programs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

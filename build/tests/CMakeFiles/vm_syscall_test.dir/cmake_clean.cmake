@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_syscall_test.dir/vm_syscall_test.cc.o"
+  "CMakeFiles/vm_syscall_test.dir/vm_syscall_test.cc.o.d"
+  "vm_syscall_test"
+  "vm_syscall_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_syscall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
