@@ -20,6 +20,7 @@ sim::Nanos Makespan(int jobs, int hosts, Mode mode, int* migrations) {
   TestbedOptions options;
   options.num_hosts = hosts;
   options.daemons = true;
+  options.metrics = true;  // the balancer surveys load via each host's gauge
   Testbed world(options);
   const std::string origin = "brick";
   for (int i = 0; i < jobs; ++i) {
@@ -65,6 +66,7 @@ sim::Nanos Makespan(int jobs, int hosts, Mode mode, int* migrations) {
 
 int main(int argc, char** argv) {
   using namespace pmig::bench;
+  ParseReportFlag(&argc, argv);
   using pmig::sim::Nanos;
   namespace sim = pmig::sim;
   std::printf("\n=== Ablation E: load balancing by migration (Section 8) ===\n");

@@ -13,6 +13,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -37,7 +39,53 @@ struct Row {
   std::string paper_note;  // what the paper reports for this row
 };
 
-// Prints a figure table normalised against rows[baseline].
+// Report destination set by --report=FILE (empty: no report). Each bench appends
+// JSONL rows here so figure results are machine-readable as well as printed.
+inline std::string& ReportPath() {
+  static std::string path;
+  return path;
+}
+
+// Strips --report=FILE / --report FILE from argv before google-benchmark sees it
+// (it rejects unrecognised flags). Call first in every bench main().
+inline void ParseReportFlag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--report=", 9) == 0) {
+      ReportPath() = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < *argc) {
+      ReportPath() = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+// Appends one raw JSONL line to the report file (no-op without --report).
+inline void WriteReportLine(const std::string& json_line) {
+  if (ReportPath().empty()) return;
+  std::ofstream out(ReportPath(), std::ios::app);
+  if (out) out << json_line << "\n";
+}
+
+// One machine-readable result row.
+inline void WriteBenchRow(const std::string& figure, const std::string& name,
+                          const Measurement& m, double cpu_norm, double real_norm,
+                          const std::string& paper_note) {
+  if (ReportPath().empty()) return;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"bench_row\",\"figure\":\"%s\",\"case\":\"%s\","
+                "\"vcpu_ms\":%.4f,\"vreal_ms\":%.4f,\"cpu_norm\":%.4f,\"real_norm\":%.4f,"
+                "\"paper\":\"%s\"}",
+                sim::JsonEscape(figure).c_str(), sim::JsonEscape(name).c_str(), m.cpu_ms,
+                m.real_ms, cpu_norm, real_norm, sim::JsonEscape(paper_note).c_str());
+  WriteReportLine(buf);
+}
+
+// Prints a figure table normalised against rows[baseline]; with --report also
+// emits each row as JSONL.
 inline void PrintFigure(const std::string& title, const std::vector<Row>& rows,
                         size_t baseline) {
   std::printf("\n=== %s ===\n", title.c_str());
@@ -46,9 +94,11 @@ inline void PrintFigure(const std::string& title, const std::vector<Row>& rows,
   const double cpu_base = rows[baseline].m.cpu_ms;
   const double real_base = rows[baseline].m.real_ms;
   for (const Row& row : rows) {
+    const double cpu_norm = cpu_base > 0 ? row.m.cpu_ms / cpu_base : 0.0;
+    const double real_norm = real_base > 0 ? row.m.real_ms / real_base : 0.0;
     std::printf("%-34s %12.2f %12.2f %10.2f %10.2f   %s\n", row.name.c_str(), row.m.cpu_ms,
-                row.m.real_ms, cpu_base > 0 ? row.m.cpu_ms / cpu_base : 0.0,
-                real_base > 0 ? row.m.real_ms / real_base : 0.0, row.paper_note.c_str());
+                row.m.real_ms, cpu_norm, real_norm, row.paper_note.c_str());
+    WriteBenchRow(title, row.name, row.m, cpu_norm, real_norm, row.paper_note);
   }
 }
 

@@ -88,12 +88,29 @@ void PrintTables() {
               100.0 * (oc_mod - oc_orig) / oc_orig);
   std::printf("%-22s %16.1f %16.1f %9.1f%%   +36%%\n", "chdir() triple", cd_orig, cd_mod,
               100.0 * (cd_mod - cd_orig) / cd_orig);
+
+  // Figure 1's table is hand-printed (microseconds, not the PrintFigure shape), so
+  // its machine-readable rows are too.
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"bench_row\",\"figure\":\"fig1\",\"case\":\"open_close_pair\","
+                "\"original_us\":%.2f,\"modified_us\":%.2f,\"overhead_pct\":%.2f,"
+                "\"paper\":\"+44%%\"}",
+                oc_orig, oc_mod, 100.0 * (oc_mod - oc_orig) / oc_orig);
+  WriteReportLine(buf);
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"bench_row\",\"figure\":\"fig1\",\"case\":\"chdir_triple\","
+                "\"original_us\":%.2f,\"modified_us\":%.2f,\"overhead_pct\":%.2f,"
+                "\"paper\":\"+36%%\"}",
+                cd_orig, cd_mod, 100.0 * (cd_mod - cd_orig) / cd_orig);
+  WriteReportLine(buf);
 }
 
 }  // namespace
 }  // namespace pmig::bench
 
 int main(int argc, char** argv) {
+  pmig::bench::ParseReportFlag(&argc, argv);
   pmig::bench::PrintTables();
   using pmig::bench::Measurement;
   pmig::bench::RegisterSim("fig1/open_close/original", [] {

@@ -58,6 +58,7 @@ Measurement MeasureKill(KillMode mode) {
 
 int main(int argc, char** argv) {
   using namespace pmig::bench;
+  ParseReportFlag(&argc, argv);
   const Measurement quit = MeasureKill(KillMode::kSigQuit);
   const Measurement dump = MeasureKill(KillMode::kSigDump);
   const Measurement tool = MeasureKill(KillMode::kDumpproc);

@@ -84,8 +84,37 @@ Measurement MeasureMigrate(const Placement& placement, bool use_daemon) {
 }  // namespace
 }  // namespace pmig::bench
 
+namespace pmig::bench {
+namespace {
+
+// With --report: one instrumented remote-to-remote migrate (metrics + spans on)
+// whose full cluster report — per-host metrics, spans, per-phase breakdown — is
+// appended to the report file. Run separately from the measured scenarios so the
+// figure numbers above stay bit-identical to an uninstrumented run.
+void AppendInstrumentedReport() {
+  if (ReportPath().empty()) return;
+  TestbedOptions options;
+  options.num_hosts = 3;
+  options.file_server_home = true;
+  options.metrics = true;
+  options.spans = true;
+  Testbed world(options);
+  InstallPaddedCounter(world);
+  const int32_t pid = StartBlockedCounter(world, "schooner");
+  const int32_t mig = world.StartTool(
+      "brick", "migrate",
+      {"-p", std::to_string(pid), "-f", "schooner", "-t", "brador"}, kUserUid,
+      world.console("brick"));
+  world.RunUntilExited("brick", mig, sim::Seconds(600));
+  world.cluster().WriteReport(ReportPath());
+}
+
+}  // namespace
+}  // namespace pmig::bench
+
 int main(int argc, char** argv) {
   using namespace pmig::bench;
+  ParseReportFlag(&argc, argv);
 
   std::vector<Row> rows;
   // One shared baseline, as in the figure: the separate dumpproc/restart pair.
@@ -99,6 +128,8 @@ int main(int argc, char** argv) {
 
   std::printf("\n(remote cases pay rsh connection setup; see ablation_daemon_vs_rsh for\n"
               " the Section 6.4 daemon-based improvement)\n");
+
+  AppendInstrumentedReport();
 
   for (const Placement& placement : kPlacements) {
     RegisterSim("fig4/migrate/" + placement.name.substr(placement.name.find('(')),

@@ -6,16 +6,23 @@
 
 namespace pmig::apps {
 
+int HostLoad(kernel::Kernel& host) {
+  if (host.metrics().enabled()) {
+    return static_cast<int>(host.metrics().Gauge("sched.runnable_vm"));
+  }
+  int runnable = 0;
+  for (kernel::Proc* p : host.ListProcs()) {
+    if (p->kind == kernel::ProcKind::kVm && p->state == kernel::ProcState::kRunnable) {
+      ++runnable;
+    }
+  }
+  return runnable;
+}
+
 std::vector<std::pair<std::string, int>> SurveyLoad(net::Network& net) {
   std::vector<std::pair<std::string, int>> loads;
   for (kernel::Kernel* host : net.hosts()) {
-    int runnable = 0;
-    for (kernel::Proc* p : host->ListProcs()) {
-      if (p->kind == kernel::ProcKind::kVm && p->state == kernel::ProcState::kRunnable) {
-        ++runnable;
-      }
-    }
-    loads.emplace_back(host->hostname(), runnable);
+    loads.emplace_back(host->hostname(), HostLoad(*host));
   }
   return loads;
 }

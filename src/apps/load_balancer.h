@@ -38,6 +38,12 @@ struct LoadBalancerStats {
   int rounds = 0;
 };
 
+// One host's runnable VM-process count (its "load"). When the host's metrics are
+// enabled this reads the scheduler's sched.runnable_vm gauge — the real per-host
+// statistics a load daemon would export — and otherwise falls back to scanning
+// the process table directly.
+int HostLoad(kernel::Kernel& host);
+
 // Per-host runnable VM-process count (the "load") as a load daemon would report.
 std::vector<std::pair<std::string, int>> SurveyLoad(net::Network& net);
 

@@ -4,12 +4,15 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <ostream>
 #include <utility>
 
 namespace pmig::cluster {
 
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   trace_.set_enabled(config_.enable_trace);
+  spans_.set_enabled(config_.enable_spans);
   network_ = std::make_unique<net::Network>(&config_.costs);
   Boot();
 }
@@ -24,6 +27,8 @@ void Cluster::Boot() {
     auto k = std::make_unique<kernel::Kernel>(spec.name, &clock_, &config_.costs, &trace_, kcfg);
     k->set_pid_base(100 + 1000 * static_cast<int32_t>(hosts_.size()));
     k->set_program_registry(&programs_);
+    k->metrics().set_enabled(config_.enable_metrics);
+    k->set_span_log(&spans_);
     network_->AddHost(k.get());
     hosts_.push_back(std::move(k));
   }
@@ -150,6 +155,78 @@ sim::Nanos Cluster::TotalCpu() const {
   sim::Nanos total = 0;
   for (const auto& k : hosts_) total += k->TotalCpu();
   return total;
+}
+
+sim::MetricsRegistry Cluster::AggregateMetrics() const {
+  sim::MetricsRegistry total;
+  for (const auto& k : hosts_) total.MergeFrom(k->metrics());
+  return total;
+}
+
+namespace {
+
+void WriteMetricsLines(std::ostream& out, const std::string& host,
+                       const sim::MetricsRegistry& m) {
+  for (const auto& [name, value] : m.counters()) {
+    out << "{\"type\":\"counter\",\"host\":\"" << sim::JsonEscape(host) << "\",\"name\":\""
+        << sim::JsonEscape(name) << "\",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, value] : m.gauges()) {
+    out << "{\"type\":\"gauge\",\"host\":\"" << sim::JsonEscape(host) << "\",\"name\":\""
+        << sim::JsonEscape(name) << "\",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, hist] : m.histograms()) {
+    out << "{\"type\":\"histogram\",\"host\":\"" << sim::JsonEscape(host) << "\",\"name\":\""
+        << sim::JsonEscape(name) << "\",\"count\":" << hist.count << ",\"sum_ns\":" << hist.sum
+        << ",\"min_ns\":" << hist.min << ",\"max_ns\":" << hist.max << "}\n";
+  }
+}
+
+}  // namespace
+
+void Cluster::WriteReport(std::ostream& out) const {
+  out << "{\"type\":\"report\",\"virtual_now_ns\":" << clock_.now() << ",\"hosts\":[";
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << sim::JsonEscape(hosts_[i]->hostname()) << "\"";
+  }
+  out << "]}\n";
+
+  for (const auto& k : hosts_) {
+    WriteMetricsLines(out, k->hostname(), k->metrics());
+  }
+
+  for (const sim::SpanRecord& s : spans_.spans()) {
+    if (!s.closed()) continue;
+    out << "{\"type\":\"span\",\"id\":" << s.id << ",\"phase\":\"" << sim::JsonEscape(s.phase)
+        << "\",\"host\":\"" << sim::JsonEscape(s.host) << "\",\"pid\":" << s.pid
+        << ",\"begin_ns\":" << s.begin << ",\"end_ns\":" << s.end
+        << ",\"dur_ns\":" << s.duration() << "}\n";
+  }
+
+  // Phase summary: self time per phase. The "migrate" root's self time is the
+  // part not attributed to any sub-phase, reported as "other"; by construction
+  // the phase values sum exactly to total_ns (the sum of the closed roots).
+  const std::map<std::string, sim::Nanos> self = spans_.PhaseSelfTimes();
+  sim::Nanos total = 0;
+  for (const sim::SpanRecord& s : spans_.spans()) {
+    if (s.closed() && s.phase == "migrate") total += s.duration();
+  }
+  out << "{\"type\":\"phase_summary\",\"total_ns\":" << total << ",\"phases\":{";
+  bool first = true;
+  for (const auto& [phase, ns] : self) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << sim::JsonEscape(phase == "migrate" ? "other" : phase) << "\":" << ns;
+  }
+  out << "}}\n";
+}
+
+bool Cluster::WriteReport(const std::string& path) const {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  WriteReport(out);
+  return out.good();
 }
 
 }  // namespace pmig::cluster

@@ -10,6 +10,7 @@
 #define PMIG_SRC_CLUSTER_CLUSTER_H_
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +20,8 @@
 #include "src/net/network.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
+#include "src/sim/metrics.h"
+#include "src/sim/span.h"
 #include "src/sim/trace.h"
 
 namespace pmig::cluster {
@@ -34,6 +37,10 @@ struct ClusterConfig {
   kernel::KernelConfig kernel;      // applied to every host (isa overridden per host)
   bool start_migration_daemons = false;  // run migrationd on every host (§6.4)
   bool enable_trace = false;
+  // Observability (off by default; when off, instrumentation is a dead branch and
+  // virtual-time results are bit-identical to an uninstrumented build).
+  bool enable_metrics = false;  // per-host counter/gauge/histogram registries
+  bool enable_spans = false;    // migration phase spans (cluster-wide log)
 };
 
 class Cluster {
@@ -49,6 +56,8 @@ class Cluster {
   net::Network& network() { return *network_; }
   sim::VirtualClock& clock() { return clock_; }
   sim::TraceLog& trace() { return trace_; }
+  sim::SpanLog& spans() { return spans_; }
+  const sim::SpanLog& spans() const { return spans_; }
   const sim::CostModel& costs() const { return config_.costs; }
   kernel::ProgramRegistry& programs() { return programs_; }
 
@@ -75,6 +84,17 @@ class Cluster {
   // disk is unreachable from every other machine.
   void SetHostDown(std::string_view name, bool down);
 
+  // --- Run reports ---
+  // Sum of every host's metrics registry (counters/gauges add; histograms merge).
+  sim::MetricsRegistry AggregateMetrics() const;
+  // Machine-readable run report: one JSON object per line (JSONL). Includes a
+  // header, per-host metrics, every closed span, and a phase-time summary whose
+  // per-phase self times sum exactly to the end-to-end migrate time.
+  void WriteReport(std::ostream& out) const;
+  // Convenience: appends the report to `path` on the real filesystem. False on
+  // open failure.
+  bool WriteReport(const std::string& path) const;
+
  private:
   void Boot();
   // One lockstep step: each machine runs a quantum, then the clock advances by one
@@ -85,6 +105,7 @@ class Cluster {
   ClusterConfig config_;
   sim::VirtualClock clock_;
   sim::TraceLog trace_;
+  sim::SpanLog spans_{&clock_, &trace_};
   kernel::ProgramRegistry programs_;
   std::vector<std::unique_ptr<kernel::Kernel>> hosts_;
   std::unique_ptr<net::Network> network_;

@@ -23,6 +23,8 @@ struct TestbedOptions {
   bool virtualize_identity = false;
   bool daemons = false;
   bool trace = false;
+  bool metrics = false;  // per-host MetricsRegistry instances
+  bool spans = false;    // migration phase spans
   // The paper's site convention (Section 3 footnote): user home directories live
   // on a file server; /u/user on every machine is a symbolic link to
   // /n/<server>/u2/user. The *last* host acts as the server (with one host the
@@ -58,6 +60,8 @@ class Testbed {
     config.kernel.virtualize_identity = options.virtualize_identity;
     config.start_migration_daemons = options.daemons;
     config.enable_trace = options.trace;
+    config.enable_metrics = options.metrics;
+    config.enable_spans = options.spans;
     cluster_ = std::make_unique<cluster::Cluster>(std::move(config));
     core::InstallMigration(*cluster_);
     for (const auto& host : cluster_->hosts()) {

@@ -1,6 +1,7 @@
 #include "src/core/shell.h"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace pmig::core {
@@ -10,6 +11,40 @@ namespace {
 void Say(kernel::SyscallApi& api, const std::string& text) {
   const Result<int64_t> n = api.Write(1, text);
   (void)n;
+}
+
+// pstat: the kernel's bookkeeping at a glance — KernelStats always, plus the
+// metrics registry when the cluster was booted with metrics enabled.
+void PstatBuiltin(kernel::SyscallApi& api) {
+  kernel::Kernel& k = api.kernel();
+  const kernel::KernelStats& st = k.stats();
+  char head[192];
+  std::snprintf(head, sizeof(head),
+                "%s: syscalls=%lld ctxsw=%lld signals=%lld procs=%lld name_bytes=%lld/%lld\n",
+                k.hostname().c_str(), static_cast<long long>(st.syscalls),
+                static_cast<long long>(st.context_switches),
+                static_cast<long long>(st.signals_posted),
+                static_cast<long long>(st.procs_spawned),
+                static_cast<long long>(st.name_bytes_current),
+                static_cast<long long>(st.name_bytes_peak));
+  std::string out = head;
+  const sim::MetricsRegistry& m = k.metrics();
+  if (!m.enabled()) {
+    out += "(metrics disabled; boot the cluster with enable_metrics for counters)\n";
+  } else {
+    for (const auto& [name, value] : m.counters()) {
+      out += "  counter " + name + " = " + std::to_string(value) + "\n";
+    }
+    for (const auto& [name, value] : m.gauges()) {
+      out += "  gauge " + name + " = " + std::to_string(value) + "\n";
+    }
+    for (const auto& [name, hist] : m.histograms()) {
+      out += "  histogram " + name + ": count=" + std::to_string(hist.count) +
+             " mean_ns=" + std::to_string(hist.Mean()) + " max_ns=" + std::to_string(hist.max) +
+             "\n";
+    }
+  }
+  Say(api, out);
 }
 
 // Reaps any finished background jobs; announces them like sh's "[n] Done".
@@ -145,8 +180,13 @@ int ShellMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {
       for (const int32_t job : jobs) Say(api, std::to_string(job) + "\n");
       continue;
     }
+    if (cmd == "pstat") {
+      PstatBuiltin(api);
+      continue;
+    }
     if (cmd == "help") {
-      Say(api, "built-ins: cd pwd jobs exit help; commands run from the registry or /bin\n");
+      Say(api,
+          "built-ins: cd pwd jobs pstat exit help; commands run from the registry or /bin\n");
       continue;
     }
     RunCommand(api, tokens, background, &jobs);

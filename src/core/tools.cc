@@ -118,28 +118,33 @@ void RewriteFilesForMigration(kernel::SyscallApi& api, FilesFile* files) {
 }
 
 int Dumpproc(kernel::SyscallApi& api, int32_t pid) {
-  // Kill the process with SIGDUMP. kill() itself enforces that only the superuser
-  // or the owner may do this.
-  const Status killed = api.Kill(pid, vm::abi::kSigDump);
-  if (!killed.ok()) {
-    Complain(api, "dumpproc: cannot signal process " + std::to_string(pid) + ": " +
-                      std::string(ErrnoName(killed.error())));
-    return 1;
-  }
-
-  // The dump files are created by the dying process; poll for a.outXXXXX,
-  // sleeping one second after each unsuccessful attempt (aborting after ten).
+  // Signal phase: kill the process with SIGDUMP (kill() itself enforces that
+  // only the superuser or the owner may do this), then poll for a.outXXXXX —
+  // the dying process creates the dump files — sleeping one second after each
+  // unsuccessful attempt (aborting after ten). The kernel's own "dump" span
+  // nests inside this one, so the signal phase's self time is the kill plus the
+  // retry-sleep slack.
   const DumpPaths paths = DumpPaths::For(pid);
   bool appeared = false;
-  for (int attempt = 0; attempt < 10; ++attempt) {
-    const Result<int> fd = api.Open(paths.aout, OpenFlags::kORdOnly);
-    if (fd.ok()) {
-      const Status closed = api.Close(*fd);
-      (void)closed;
-      appeared = true;
-      break;
+  {
+    sim::SpanScope signal_phase(api.kernel().spans(), "signal", api.kernel().hostname(),
+                                api.pid());
+    const Status killed = api.Kill(pid, vm::abi::kSigDump);
+    if (!killed.ok()) {
+      Complain(api, "dumpproc: cannot signal process " + std::to_string(pid) + ": " +
+                        std::string(ErrnoName(killed.error())));
+      return 1;
     }
-    api.Sleep(sim::Seconds(1));
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      const Result<int> fd = api.Open(paths.aout, OpenFlags::kORdOnly);
+      if (fd.ok()) {
+        const Status closed = api.Close(*fd);
+        (void)closed;
+        appeared = true;
+        break;
+      }
+      api.Sleep(sim::Seconds(1));
+    }
   }
   if (!appeared) {
     Complain(api, "dumpproc: dump files for " + std::to_string(pid) + " never appeared");
@@ -170,8 +175,15 @@ int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host) 
   }
   const DumpPaths paths = DumpPaths::For(pid, dir);
 
-  // Verify that the three files exist and have the correct format.
+  // Reading the dump files (over NFS on a remote-source restart) is the transfer
+  // leg of a migration; span it so the run report can attribute it.
+  Result<StackFile> stack = Errno::kNoEnt;
+  Result<FilesFile> files = Errno::kNoEnt;
   {
+    sim::SpanScope transfer_phase(api.kernel().spans(), "transfer", api.kernel().hostname(),
+                                  api.pid());
+
+    // Verify that the three files exist and have the correct format.
     const Result<int> fd = api.Open(paths.aout, OpenFlags::kORdOnly);
     if (!fd.ok()) {
       Complain(api, "restart: no " + paths.aout);
@@ -186,13 +198,13 @@ int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host) 
       Complain(api, "restart: bad executable magic in " + paths.aout);
       return 1;
     }
+    stack = LoadDumpFile<StackFile>(api, paths.stack);
+    files = LoadDumpFile<FilesFile>(api, paths.files);
   }
-  Result<StackFile> stack = LoadDumpFile<StackFile>(api, paths.stack);
   if (!stack.ok()) {
     Complain(api, "restart: bad or missing " + paths.stack);
     return 1;
   }
-  Result<FilesFile> files = LoadDumpFile<FilesFile>(api, paths.files);
   if (!files.ok()) {
     Complain(api, "restart: bad or missing " + paths.files);
     return 1;
@@ -302,12 +314,23 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
   };
 
   const std::string pid_str = std::to_string(pid);
-  int rc = run_on(from_host, "dumpproc", {"-p", pid_str});
+  sim::SpanLog* spans = api.kernel().spans();
+  // Root span for the whole command; its self time (network round trips, waits on
+  // the remote tools) is reported as "other" in the run report.
+  sim::SpanScope total(spans, "migrate", local, api.pid());
+  int rc;
+  {
+    sim::SpanScope phase(spans, "dump", local, api.pid());
+    rc = run_on(from_host, "dumpproc", {"-p", pid_str});
+  }
   if (rc != 0) {
     Complain(api, "migrate: dumpproc on " + from_host + " failed (" + std::to_string(rc) + ")");
     return rc;
   }
-  rc = run_on(to_host, "restart", {"-p", pid_str, "-h", from_host});
+  {
+    sim::SpanScope phase(spans, "restart", local, api.pid());
+    rc = run_on(to_host, "restart", {"-p", pid_str, "-h", from_host});
+  }
   if (rc != 0) {
     Complain(api, "migrate: restart on " + to_host + " failed (" + std::to_string(rc) + ")");
   }

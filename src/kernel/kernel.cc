@@ -17,6 +17,7 @@ Kernel::Kernel(std::string hostname, sim::VirtualClock* clock, const sim::CostMo
       config_(config) {
   fs_ = std::make_unique<vfs::Filesystem>(hostname_);
   vfs_ = std::make_unique<vfs::Vfs>(fs_.get(), costs_);
+  vfs_->set_metrics(&metrics_);
   null_device_ = std::make_unique<NullDevice>();
   BootFilesystem();
 }
@@ -85,6 +86,7 @@ Proc& Kernel::NewProc(std::string command, ProcKind kind, const SpawnOptions& op
   procs_.push_back(std::move(owned));
   apis_[p.pid] = std::make_unique<SyscallApi>(this, p.pid);
   ++stats_.procs_spawned;
+  metrics_.Inc("kernel.procs_spawned");
   if (opts.tty != nullptr && opts.stdio_on_tty) {
     OpenFilePtr stdio = OpenTtyFile(opts.tty);
     for (int fd = 0; fd < 3; ++fd) InstallFd(p, fd, stdio);
@@ -212,7 +214,16 @@ OpenFilePtr Kernel::OpenTtyFile(Tty* tty) {
   file->inode = tty_nodes_.at(tty);
   file->flags = vm::abi::kORdWr;
   if (config_.track_names) {
+    // Held name storage, same as TrackOpenName — ReleaseOpenName gives these
+    // bytes back on close, so skipping the add here would drive
+    // name_bytes_current negative.
     file->name = "/dev/" + std::string(tty->DeviceName());
+    const int64_t held = config_.name_storage == KernelConfig::NameStorage::kFixed
+                             ? config_.fixed_name_bytes
+                             : static_cast<int64_t>(file->name->size()) + 1;
+    ++stats_.name_allocs;
+    stats_.name_bytes_current += held;
+    stats_.name_bytes_peak = std::max(stats_.name_bytes_peak, stats_.name_bytes_current);
   }
   return file;
 }
@@ -327,12 +338,20 @@ bool Kernel::RunQuantum() {
   if (down_) return false;  // the machine is powered off / crashed
   DeliverPendingSignals();
   WakeBlockedProcs();
+  if (metrics_.enabled()) {
+    int64_t runnable_vm = 0;
+    for (const auto& q : procs_) {
+      if (q->kind == ProcKind::kVm && q->state == ProcState::kRunnable) ++runnable_vm;
+    }
+    metrics_.Set("sched.runnable_vm", runnable_vm);
+  }
   Proc* p = PickNext();
   if (p == nullptr) return false;
 
   quantum_left_ = costs_->quantum;
   if (p->pid != last_run_pid_) {
     ++stats_.context_switches;
+    metrics_.Inc("sched.context_switches");
     ChargeCpu(*p, costs_->context_switch);
   }
   last_run_pid_ = p->pid;

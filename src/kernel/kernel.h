@@ -31,7 +31,9 @@
 #include "src/kernel/tty.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
+#include "src/sim/metrics.h"
 #include "src/sim/result.h"
+#include "src/sim/span.h"
 #include "src/sim/trace.h"
 #include "src/vfs/vfs.h"
 #include "src/vm/aout.h"
@@ -158,6 +160,14 @@ class Kernel {
   KernelConfig& mutable_config() { return config_; }
   KernelStats& stats() { return stats_; }
   KernelTimers& timers() { return timers_; }
+  // Per-machine metrics (off by default; Cluster::Boot enables them when the
+  // cluster is configured for metrics). Observation only — recording a metric
+  // never charges cost or changes scheduling.
+  sim::MetricsRegistry& metrics() { return metrics_; }
+  const sim::MetricsRegistry& metrics() const { return metrics_; }
+  // Cluster-owned span log for migration phase attribution (may stay null).
+  void set_span_log(sim::SpanLog* spans) { spans_ = spans; }
+  sim::SpanLog* spans() { return spans_; }
   void set_migration_hooks(MigrationHooks hooks) { hooks_ = std::move(hooks); }
   // First pid this kernel hands out. The cluster gives each machine a distinct
   // range so cross-host pid collisions don't confuse tests and dump-file names.
@@ -333,6 +343,8 @@ class Kernel {
   KernelConfig config_;
   KernelStats stats_;
   KernelTimers timers_;
+  sim::MetricsRegistry metrics_;
+  sim::SpanLog* spans_ = nullptr;
   MigrationHooks hooks_;
   const ProgramRegistry* programs_ = nullptr;
 

@@ -80,6 +80,7 @@ void Kernel::DeliverPendingSignals() {
 
 void Kernel::DeliverSignal(Proc& p, int signo) {
   Trace(sim::TraceCategory::kSignal, p.pid, "delivering fatal signal " + std::to_string(signo));
+  metrics_.Inc("kernel.signals_delivered");
   if (p.kind == ProcKind::kNative) {
     p.exit_info = ExitInfo{};
     p.exit_info.killed_by_signal = signo;
@@ -131,6 +132,8 @@ void Kernel::StartMigrationDump(Proc& p) {
     return;
   }
   ChargeCpu(p, prepared->cpu);
+  metrics_.Inc("migration.dumps_started");
+  metrics_.Observe("migration.dump_ns", prepared->cpu + prepared->wait);
   // The dying process spends (cpu + wait) producing the three files; they become
   // visible — and the process exits — when the dump completes. This is why
   // dumpproc has to poll for a.outXXXXX (Section 6.2).
@@ -139,8 +142,12 @@ void Kernel::StartMigrationDump(Proc& p) {
   p.unblock_check = nullptr;
   const int32_t pid = p.pid;
   Trace(sim::TraceCategory::kMigration, pid, "SIGDUMP: dumping process state");
+  // The dump is asynchronous (the process sleeps while the files are written), so
+  // the span cannot be a scope on this stack — it closes inside the timer.
+  const uint64_t span_id = spans_ != nullptr ? spans_->Begin("dump", hostname_, pid) : 0;
   p.wake_timer = clock_->CallAfter(
-      prepared->cpu + prepared->wait, [this, pid, files = std::move(prepared->files)] {
+      prepared->cpu + prepared->wait,
+      [this, pid, span_id, files = std::move(prepared->files)] {
         Proc* proc = FindProc(pid);
         if (proc == nullptr || proc->state != ProcState::kSleeping) return;  // killed
         proc->wake_timer = 0;
@@ -149,6 +156,7 @@ void Kernel::StartMigrationDump(Proc& p) {
           // restart permission model rests on dump-file access
           Trace(sim::TraceCategory::kMigration, pid, "dump file " + path);
         }
+        if (spans_ != nullptr) spans_->End(span_id);
         ExitInfo info;
         info.killed_by_signal = Sig::kSigDump;
         info.migration_dumped = true;

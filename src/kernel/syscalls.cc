@@ -50,6 +50,8 @@ void Kernel::TrackOpenName(Proc& p, OpenFile& file, std::string_view user_path) 
     sink->ChargeCpu(costs_->kmem_alloc);
     sink->ChargeCpu(static_cast<sim::Nanos>(abs.size() + 1) * costs_->name_copy_per_byte);
   }
+  metrics_.Inc("kernel.kmem_allocs");
+  metrics_.Inc("vfs.name_bytes_copied", static_cast<int64_t>(abs.size()) + 1);
   const int64_t held = config_.name_storage == KernelConfig::NameStorage::kFixed
                            ? config_.fixed_name_bytes
                            : static_cast<int64_t>(abs.size()) + 1;
@@ -96,6 +98,7 @@ void Kernel::TrackChdirName(Proc& p, std::string_view user_path) {
     sink->ChargeCpu(static_cast<sim::Nanos>(p.u_cwd_path.size() + 1) *
                     costs_->name_copy_per_byte);
   }
+  metrics_.Inc("vfs.name_bytes_copied", static_cast<int64_t>(p.u_cwd_path.size()) + 1);
 }
 
 // --- File syscalls ----------------------------------------------------------------
@@ -660,8 +663,12 @@ void Kernel::RunVmProc(Proc& p) {
     const sim::Nanos used = cpu.steps_executed() * costs_->instruction;
     p.utime += used;
     quantum_left_ -= used;
+    metrics_.Inc("kernel.instructions", cpu.steps_executed());
     if (reason == vm::StopReason::kSyscall) {
       ++stats_.syscalls;
+      if (metrics_.enabled()) {
+        metrics_.Inc("kernel.syscall." + std::to_string(cpu.last_syscall()));
+      }
       ChargeCpu(p, costs_->syscall_entry);
       if (!DispatchVmSyscall(p, cpu.last_syscall())) break;
     } else if (reason == vm::StopReason::kFault) {
@@ -1082,6 +1089,7 @@ sim::Nanos SyscallApi::Now() const { return kernel_->clock().now(); }
 void SyscallApi::EnterSyscall() {
   Proc& p = proc();
   ++kernel_->stats_.syscalls;
+  kernel_->metrics_.Inc("kernel.syscall.native");
   kernel_->ChargeCpu(p, kernel_->costs_->syscall_entry);
   kernel_->ChargeUser(p, kernel_->costs_->native_user_work);
   YieldIfPreempted();

@@ -37,8 +37,17 @@ Result<int> DaemonExec(kernel::SyscallApi& api, Network& net, std::string_view h
     return Errno::kHostUnreach;
   }
 
-  // TCP connect + request marshalling to the well-known port: cheap, unlike rsh.
-  api.Sleep(net.costs().daemon_request);
+  kernel::Kernel& local = api.kernel();
+  if (local.metrics().enabled()) {
+    local.metrics().Inc("net.daemon_connections");
+    local.metrics().Inc("net.messages." + local.hostname() + "->" + std::string(host));
+  }
+
+  {
+    // TCP connect + request marshalling to the well-known port: cheap, unlike rsh.
+    sim::SpanScope setup(local.spans(), "setup", local.hostname(), api.pid());
+    api.Sleep(net.costs().daemon_request);
+  }
 
   auto req = std::make_shared<SpawnService::Request>();
   req->program = program;

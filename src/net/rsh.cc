@@ -10,9 +10,19 @@ Result<int> Rsh(kernel::SyscallApi& api, Network& net, std::string_view host,
   kernel::Kernel* remote = net.FindHost(host);
   if (remote == nullptr || remote->down()) return Errno::kHostUnreach;
 
-  // Connection establishment: privileged port, reverse lookup, hosts.equiv, rshd
-  // fork. Pure real time — the caller's CPU is idle.
-  api.Sleep(net.costs().rsh_setup);
+  kernel::Kernel& local = api.kernel();
+  sim::MetricsRegistry& metrics = local.metrics();
+  if (metrics.enabled()) {
+    metrics.Inc("net.rsh_connections");
+    metrics.Inc("net.messages." + local.hostname() + "->" + remote->hostname());
+  }
+
+  {
+    // Connection establishment: privileged port, reverse lookup, hosts.equiv, rshd
+    // fork. Pure real time — the caller's CPU is idle.
+    sim::SpanScope setup(local.spans(), "setup", local.hostname(), api.pid());
+    api.Sleep(net.costs().rsh_setup);
+  }
 
   // The remote command gets a network pipe for stdio, not a terminal.
   auto stdin_ch = std::make_shared<kernel::Channel>();
@@ -62,7 +72,15 @@ Result<int> Rsh(kernel::SyscallApi& api, Network& net, std::string_view host,
   const std::string output = std::move(stdout_ch->buffer);
   stdout_ch->buffer.clear();
   if (!output.empty()) {
-    api.Sleep(net.TransferTime(static_cast<int64_t>(output.size())));
+    const sim::Nanos wire = net.TransferTime(static_cast<int64_t>(output.size()));
+    if (metrics.enabled()) {
+      metrics.Inc("net.bytes." + remote->hostname() + "->" + local.hostname(),
+                  static_cast<int64_t>(output.size()));
+      metrics.Inc("net.messages." + remote->hostname() + "->" + local.hostname());
+      metrics.Observe("net.transfer_ns", wire);
+    }
+    sim::SpanScope transfer(local.spans(), "transfer", local.hostname(), api.pid());
+    api.Sleep(wire);
     const Result<int64_t> written = api.Write(1, output);
     (void)written;  // a closed stdout is the caller's problem, as with real rsh
   }

@@ -1,0 +1,102 @@
+// Metrics: named counters, gauges, and virtual-time histograms.
+//
+// Each kernel owns one registry (per-host metrics, like a per-machine /dev/kmem
+// statistics page); the cluster aggregates them for run reports. Everything is off
+// by default: while disabled, Inc/Set/Observe return after a single branch and
+// allocate nothing, so instrumentation can live permanently on hot paths without
+// perturbing the deterministic virtual-time results (the figures must be
+// bit-identical with metrics off).
+//
+// Names are dotted strings ("kernel.syscall.5", "net.bytes.brick->schooner");
+// dynamic label material (syscall numbers, host pairs) is folded into the name, so
+// callers that build names should guard on enabled() first.
+
+#ifndef PMIG_SRC_SIM_METRICS_H_
+#define PMIG_SRC_SIM_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/sim/time.h"
+
+namespace pmig::sim {
+
+// Log2-bucketed histogram of virtual-time durations (nanoseconds). Bucket i
+// counts values v with 2^i <= v < 2^(i+1); bucket 0 also takes v <= 1.
+struct Histogram {
+  static constexpr size_t kBuckets = 48;  // 2^47 ns ≈ 39 hours, ample for any run
+
+  int64_t count = 0;
+  Nanos sum = 0;
+  Nanos min = 0;
+  Nanos max = 0;
+  std::array<int64_t, kBuckets> buckets{};
+
+  void Record(Nanos value);
+  void MergeFrom(const Histogram& other);
+  Nanos Mean() const { return count > 0 ? sum / count : 0; }
+};
+
+class MetricsRegistry {
+ public:
+  using CounterMap = std::map<std::string, int64_t, std::less<>>;
+  using HistogramMap = std::map<std::string, Histogram, std::less<>>;
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // Monotonic counter. No-op (one branch, no allocation) while disabled.
+  void Inc(std::string_view name, int64_t delta = 1) {
+    if (!enabled_) return;
+    Slot(counters_, name) += delta;
+  }
+
+  // Last-value gauge (e.g. the scheduler's current runnable count).
+  void Set(std::string_view name, int64_t value) {
+    if (!enabled_) return;
+    Slot(gauges_, name) = value;
+  }
+
+  // Records one virtual-time duration into the named histogram.
+  void Observe(std::string_view name, Nanos value);
+
+  // Zero when the name has never been incremented/set.
+  int64_t Counter(std::string_view name) const;
+  int64_t Gauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  const CounterMap& counters() const { return counters_; }
+  const CounterMap& gauges() const { return gauges_; }
+  const HistogramMap& histograms() const { return histograms_; }
+
+  // Folds `other`'s data into this registry (counters and gauges add, histograms
+  // merge), regardless of either registry's enabled flag — used by the cluster to
+  // aggregate per-host registries into one report.
+  void MergeFrom(const MetricsRegistry& other);
+
+  void Clear();
+
+ private:
+  static int64_t& Slot(CounterMap& map, std::string_view name) {
+    auto it = map.find(name);
+    if (it == map.end()) it = map.emplace(std::string(name), 0).first;
+    return it->second;
+  }
+
+  bool enabled_ = false;
+  CounterMap counters_;
+  CounterMap gauges_;
+  HistogramMap histograms_;
+};
+
+// Minimal JSON string escaping for report writers (quotes, backslashes, control
+// characters). Metric/host names are plain ASCII; this keeps the output valid
+// even if one is not.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace pmig::sim
+
+#endif  // PMIG_SRC_SIM_METRICS_H_

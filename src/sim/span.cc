@@ -1,0 +1,75 @@
+#include "src/sim/span.h"
+
+#include <algorithm>
+
+namespace pmig::sim {
+
+uint64_t SpanLog::Begin(std::string phase, std::string host, int32_t pid) {
+  if (!enabled_) return 0;
+  SpanRecord record;
+  record.id = next_id_++;
+  record.phase = std::move(phase);
+  record.host = std::move(host);
+  record.pid = pid;
+  record.begin = clock_->now();
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->Add(TraceEvent{record.begin, TraceCategory::kMigration, record.host, record.pid,
+                           "span begin id=" + std::to_string(record.id) +
+                               " phase=" + record.phase});
+  }
+  spans_.push_back(std::move(record));
+  return spans_.back().id;
+}
+
+void SpanLog::End(uint64_t id) {
+  if (id == 0) return;
+  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+    if (it->id != id) continue;
+    if (it->closed()) return;  // double End; keep the first
+    it->end = clock_->now();
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->Add(TraceEvent{it->end, TraceCategory::kMigration, it->host, it->pid,
+                             "span end id=" + std::to_string(it->id) + " phase=" + it->phase +
+                                 " dur_ns=" + std::to_string(it->duration())});
+    }
+    return;
+  }
+}
+
+const SpanRecord* SpanLog::Find(uint64_t id) const {
+  for (const SpanRecord& s : spans_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+std::map<std::string, Nanos> SpanLog::PhaseSelfTimes() const {
+  // Closed spans in Begin order are sorted by begin time, and spans on one
+  // virtual timeline nest properly, so a stack sweep assigns each span to its
+  // enclosing parent: pop every span that ended before this one starts, then the
+  // stack top (if any) is the parent.
+  struct Open {
+    const SpanRecord* record;
+    Nanos child_time = 0;
+  };
+  std::map<std::string, Nanos> out;
+  std::vector<Open> stack;
+
+  const auto finalize_top = [&] {
+    const Open top = stack.back();
+    stack.pop_back();
+    const Nanos self = std::max<Nanos>(top.record->duration() - top.child_time, 0);
+    out[top.record->phase] += self;
+    if (!stack.empty()) stack.back().child_time += top.record->duration();
+  };
+
+  for (const SpanRecord& s : spans_) {
+    if (!s.closed()) continue;
+    while (!stack.empty() && stack.back().record->end <= s.begin) finalize_top();
+    stack.push_back(Open{&s});
+  }
+  while (!stack.empty()) finalize_top();
+  return out;
+}
+
+}  // namespace pmig::sim

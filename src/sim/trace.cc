@@ -39,18 +39,34 @@ void TraceLog::Add(TraceEvent event) {
   events_.push_back(std::move(event));
 }
 
-std::vector<const TraceEvent*> TraceLog::Matching(std::string_view needle) const {
+namespace {
+
+bool EventMatches(const TraceEvent& e, std::string_view needle,
+                  std::optional<TraceCategory> category) {
+  if (category.has_value() && e.category != *category) return false;
+  return e.text.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+std::vector<const TraceEvent*> TraceLog::Matching(std::string_view needle,
+                                                  std::optional<TraceCategory> category) const {
   std::vector<const TraceEvent*> out;
   for (const TraceEvent& e : events_) {
-    if (e.text.find(needle) != std::string::npos) {
+    if (EventMatches(e, needle, category)) {
       out.push_back(&e);
     }
   }
   return out;
 }
 
-size_t TraceLog::CountMatching(std::string_view needle) const {
-  return Matching(needle).size();
+size_t TraceLog::CountMatching(std::string_view needle,
+                               std::optional<TraceCategory> category) const {
+  size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (EventMatches(e, needle, category)) ++n;
+  }
+  return n;
 }
 
 }  // namespace pmig::sim

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,11 +52,15 @@ class TraceLog {
   const std::deque<TraceEvent>& events() const { return events_; }
   void Clear() { events_.clear(); }
 
-  // All events whose text contains `needle`, oldest first.
-  std::vector<const TraceEvent*> Matching(std::string_view needle) const;
+  // All events whose text contains `needle`, oldest first, optionally restricted
+  // to one category.
+  std::vector<const TraceEvent*> Matching(
+      std::string_view needle, std::optional<TraceCategory> category = std::nullopt) const;
 
-  // Number of events whose text contains `needle`.
-  size_t CountMatching(std::string_view needle) const;
+  // Number of events whose text contains `needle` (same optional category
+  // filter). Counts in place — no intermediate vector.
+  size_t CountMatching(std::string_view needle,
+                       std::optional<TraceCategory> category = std::nullopt) const;
 
  private:
   bool enabled_ = false;

@@ -147,6 +147,12 @@ int64_t Vfs::ReadAt(const Inode& inode, int64_t offset, int64_t len, std::string
     sink->ChargeCpu(io.cpu);
     sink->ChargeWait(io.wait);
   }
+  if (metrics_ != nullptr && metrics_->enabled()) {
+    const bool remote = InodeIsRemote(inode);
+    const int64_t blocks = (n + costs_->disk_block_bytes - 1) / costs_->disk_block_bytes;
+    metrics_->Inc(remote ? "vfs.nfs_bytes_read" : "vfs.bytes_read", n);
+    metrics_->Inc(remote ? "vfs.nfs_blocks_read" : "vfs.blocks_read", blocks);
+  }
   return n;
 }
 
@@ -173,6 +179,13 @@ int64_t Vfs::WriteAt(Inode& inode, int64_t offset, std::string_view bytes,
       sink->ChargeCpu(io.cpu);
       sink->ChargeWait(io.wait);
     }
+  }
+  if (metrics_ != nullptr && metrics_->enabled()) {
+    const bool remote = InodeIsRemote(inode);
+    const int64_t n = static_cast<int64_t>(bytes.size());
+    const int64_t blocks = (n + costs_->disk_block_bytes - 1) / costs_->disk_block_bytes;
+    metrics_->Inc(remote ? "vfs.nfs_bytes_written" : "vfs.bytes_written", n);
+    metrics_->Inc(remote ? "vfs.nfs_blocks_written" : "vfs.blocks_written", blocks);
   }
   return static_cast<int64_t>(bytes.size());
 }

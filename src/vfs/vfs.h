@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/sim/cost_model.h"
+#include "src/sim/metrics.h"
 #include "src/sim/result.h"
 #include "src/vfs/filesystem.h"
 #include "src/vfs/inode.h"
@@ -68,6 +69,10 @@ class Vfs {
   Vfs& operator=(const Vfs&) = delete;
 
   Filesystem* local_fs() const { return local_; }
+
+  // Installed by the owning kernel: byte/block counters for ReadAt/WriteAt land
+  // here. May stay null (tests construct a bare Vfs); recording never charges cost.
+  void set_metrics(sim::MetricsRegistry* metrics) { metrics_ = metrics; }
 
   // Grafts `remote_root` over the directory inode `mount_point`: any walk reaching
   // the mount point continues at the remote root.
@@ -138,6 +143,7 @@ class Vfs {
 
   Filesystem* local_;
   const sim::CostModel* costs_;
+  sim::MetricsRegistry* metrics_ = nullptr;
   std::map<const Inode*, InodePtr> mounts_;
   std::function<bool(const Filesystem*)> unreachable_;
 };

@@ -1,0 +1,225 @@
+// Observability layer: the metrics registry, phase spans, the cluster run
+// report, and the load balancer's use of the scheduler gauge.
+//
+// The acceptance property is the paper's own framing turned into an assertion:
+// a remote-to-remote migrate's per-phase breakdown (signal, dump, setup,
+// transfer, restart, plus unattributed "other") must sum to the end-to-end
+// migrate time exactly — spans nest on one virtual timeline, so self times
+// partition the total.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/apps/load_balancer.h"
+#include "src/sim/metrics.h"
+#include "src/sim/span.h"
+#include "tests/test_util.h"
+
+namespace pmig {
+namespace {
+
+using test::World;
+using test::WorldOptions;
+
+TEST(MetricsRegistry, DisabledIsANoOp) {
+  sim::MetricsRegistry m;
+  EXPECT_FALSE(m.enabled());
+  m.Inc("kernel.syscall.5");
+  m.Set("sched.runnable_vm", 3);
+  m.Observe("migration.dump_ns", sim::Millis(600));
+  EXPECT_TRUE(m.counters().empty());
+  EXPECT_TRUE(m.gauges().empty());
+  EXPECT_TRUE(m.histograms().empty());
+  EXPECT_EQ(m.Counter("kernel.syscall.5"), 0);
+  EXPECT_EQ(m.Gauge("sched.runnable_vm"), 0);
+  EXPECT_EQ(m.FindHistogram("migration.dump_ns"), nullptr);
+}
+
+TEST(MetricsRegistry, CountersGaugesHistograms) {
+  sim::MetricsRegistry m;
+  m.set_enabled(true);
+  m.Inc("a");
+  m.Inc("a", 4);
+  m.Set("g", 7);
+  m.Set("g", 2);  // gauges keep the last value
+  m.Observe("h", sim::Millis(1));
+  m.Observe("h", sim::Millis(3));
+  EXPECT_EQ(m.Counter("a"), 5);
+  EXPECT_EQ(m.Counter("never"), 0);
+  EXPECT_EQ(m.Gauge("g"), 2);
+  const sim::Histogram* h = m.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2);
+  EXPECT_EQ(h->sum, sim::Millis(4));
+  EXPECT_EQ(h->min, sim::Millis(1));
+  EXPECT_EQ(h->max, sim::Millis(3));
+  EXPECT_EQ(h->Mean(), sim::Millis(2));
+}
+
+TEST(MetricsRegistry, MergeFromAggregates) {
+  sim::MetricsRegistry a, b;
+  a.set_enabled(true);
+  b.set_enabled(true);
+  a.Inc("c", 2);
+  b.Inc("c", 3);
+  b.Inc("only_b");
+  a.Observe("h", sim::Millis(1));
+  b.Observe("h", sim::Millis(9));
+  sim::MetricsRegistry total;  // stays disabled: MergeFrom bypasses the gate
+  total.MergeFrom(a);
+  total.MergeFrom(b);
+  EXPECT_EQ(total.Counter("c"), 5);
+  EXPECT_EQ(total.Counter("only_b"), 1);
+  const sim::Histogram* h = total.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2);
+  EXPECT_EQ(h->min, sim::Millis(1));
+  EXPECT_EQ(h->max, sim::Millis(9));
+}
+
+TEST(SpanLog, DisabledBeginReturnsZero) {
+  sim::VirtualClock clock;
+  sim::SpanLog log(&clock, nullptr);
+  EXPECT_EQ(log.Begin("dump", "brick", 1), 0u);
+  log.End(0);  // must be a no-op
+  EXPECT_TRUE(log.spans().empty());
+}
+
+TEST(SpanLog, NestedSelfTimesPartitionTheRoot) {
+  sim::VirtualClock clock;
+  sim::SpanLog log(&clock, nullptr);
+  log.set_enabled(true);
+  // migrate [0,100ms] containing dump [10,40] and restart [50,90].
+  const uint64_t root = log.Begin("migrate", "brick", 1);
+  clock.Advance(sim::Millis(10));
+  const uint64_t dump = log.Begin("dump", "brick", 1);
+  clock.Advance(sim::Millis(30));
+  log.End(dump);
+  clock.Advance(sim::Millis(10));
+  const uint64_t restart = log.Begin("restart", "brick", 1);
+  clock.Advance(sim::Millis(40));
+  log.End(restart);
+  clock.Advance(sim::Millis(10));
+  log.End(root);
+
+  const auto self = log.PhaseSelfTimes();
+  EXPECT_EQ(self.at("dump"), sim::Millis(30));
+  EXPECT_EQ(self.at("restart"), sim::Millis(40));
+  EXPECT_EQ(self.at("migrate"), sim::Millis(30));  // 100 - 30 - 40
+  sim::Nanos sum = 0;
+  for (const auto& [phase, ns] : self) sum += ns;
+  EXPECT_EQ(sum, log.Find(root)->duration());
+}
+
+TEST(SpanLog, SpanScopeIsNullSafe) {
+  { sim::SpanScope scope(nullptr, "dump", "brick", 1); }
+  sim::VirtualClock clock;
+  sim::SpanLog log(&clock, nullptr);
+  { sim::SpanScope scope(&log, "dump", "brick", 1); }  // disabled log
+  EXPECT_TRUE(log.spans().empty());
+}
+
+// The acceptance test: remote-to-remote migrate, phase breakdown sums to the
+// end-to-end time, and the written report carries the same numbers.
+TEST(Observability, MigrationPhaseBreakdownSumsToEndToEnd) {
+  WorldOptions options;
+  options.num_hosts = 3;  // migrate typed on brick, schooner -> brador
+  options.metrics = true;
+  options.spans = true;
+  World world(options);
+
+  const int32_t pid = world.StartVm("schooner", "/bin/counter");
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(world.RunUntilBlocked("schooner", pid));
+  world.console("schooner")->Type("x\n");
+  ASSERT_TRUE(world.RunUntilBlocked("schooner", pid));
+
+  const int32_t mig = world.StartTool(
+      "brick", "migrate", {"-p", std::to_string(pid), "-f", "schooner", "-t", "brador"},
+      test::kUserUid, world.console("brick"));
+  ASSERT_GT(mig, 0);
+  ASSERT_TRUE(world.RunUntilExited("brick", mig));
+  EXPECT_EQ(world.ExitInfoOf("brick", mig).exit_code, 0);
+  EXPECT_GT(world.FindPidByCommand("brador", "migrated"), 0);
+
+  // Exactly one end-to-end "migrate" span, closed.
+  const sim::SpanLog& spans = world.cluster().spans();
+  sim::Nanos end_to_end = 0;
+  int roots = 0;
+  for (const sim::SpanRecord& s : spans.spans()) {
+    if (s.phase == "migrate") {
+      EXPECT_TRUE(s.closed());
+      end_to_end += s.duration();
+      ++roots;
+    }
+  }
+  EXPECT_EQ(roots, 1);
+  EXPECT_GT(end_to_end, 0);
+
+  // Every paper phase shows up, and self times partition the total exactly.
+  const auto self = spans.PhaseSelfTimes();
+  for (const char* phase : {"signal", "dump", "setup", "transfer", "restart"}) {
+    ASSERT_TRUE(self.count(phase)) << phase;
+    EXPECT_GT(self.at(phase), 0) << phase;
+  }
+  sim::Nanos phase_sum = 0;
+  for (const auto& [phase, ns] : self) phase_sum += ns;
+  EXPECT_EQ(phase_sum, end_to_end);
+
+  // The source kernel counted the dump; rsh connections crossed the wire.
+  EXPECT_EQ(world.host("schooner").metrics().Counter("migration.dumps_started"), 1);
+  const sim::MetricsRegistry total = world.cluster().AggregateMetrics();
+  EXPECT_GE(total.Counter("net.rsh_connections"), 2);  // dumpproc + restart legs
+  EXPECT_GT(total.Counter("kernel.syscall.native"), 0);
+
+  // The report is JSONL: every line a JSON object, with a phase_summary whose
+  // total matches the end-to-end span time.
+  std::ostringstream out;
+  world.cluster().WriteReport(out);
+  const std::string report = out.str();
+  std::istringstream lines(report);
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    ++n;
+  }
+  EXPECT_GT(n, 10);
+  EXPECT_NE(report.find("\"type\":\"phase_summary\""), std::string::npos);
+  EXPECT_NE(report.find("\"total_ns\":" + std::to_string(end_to_end)), std::string::npos);
+  EXPECT_NE(report.find("\"dump\":" + std::to_string(self.at("dump"))), std::string::npos);
+  EXPECT_NE(report.find("\"type\":\"span\""), std::string::npos);
+  EXPECT_NE(report.find("migration.dumps_started"), std::string::npos);
+}
+
+// With metrics on, HostLoad reads the scheduler gauge; it must agree with a
+// direct process-table scan (what the metrics-off fallback does).
+TEST(Observability, HostLoadGaugeMatchesProcessTableScan) {
+  WorldOptions options;
+  options.num_hosts = 2;
+  options.metrics = true;
+  World world(options);
+  for (int i = 0; i < 3; ++i) world.StartVm("brick", "/bin/hog", {"hog", "1000000"});
+  world.cluster().RunFor(sim::Millis(50));
+
+  for (const auto& host : world.cluster().hosts()) {
+    int scanned = 0;
+    for (kernel::Proc* p : host->ListProcs()) {
+      if (p->kind == kernel::ProcKind::kVm && p->state == kernel::ProcState::kRunnable) {
+        ++scanned;
+      }
+    }
+    EXPECT_EQ(apps::HostLoad(*host), scanned) << host->hostname();
+  }
+  const auto loads = apps::SurveyLoad(world.cluster().network());
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_EQ(loads[0].first, "brick");
+  EXPECT_GE(loads[0].second, 2);  // 3 hogs minus at most the one on cpu
+  EXPECT_EQ(loads[1].second, 0);
+}
+
+}  // namespace
+}  // namespace pmig

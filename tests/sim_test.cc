@@ -160,6 +160,48 @@ TEST(TraceLog, BoundedCapacity) {
   EXPECT_EQ(log.events().front().pid, 6);
 }
 
+TEST(TraceLog, EvictionDropsOldestAcrossRefills) {
+  TraceLog log(3);
+  log.set_enabled(true);
+  for (int i = 0; i < 100; ++i) {
+    log.Add(TraceEvent{Millis(i), TraceCategory::kApp, "h", i, "e" + std::to_string(i)});
+    EXPECT_LE(log.events().size(), 3u);
+  }
+  ASSERT_EQ(log.events().size(), 3u);
+  EXPECT_EQ(log.events().front().pid, 97);  // oldest survivor
+  EXPECT_EQ(log.events().back().pid, 99);
+  EXPECT_EQ(log.events().front().when, Millis(97));
+}
+
+TEST(TraceLog, DisableStopsRecordingButKeepsEvents) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.Add(TraceEvent{0, TraceCategory::kApp, "h", 1, "kept"});
+  log.set_enabled(false);
+  log.Add(TraceEvent{0, TraceCategory::kApp, "h", 2, "dropped"});
+  ASSERT_EQ(log.events().size(), 1u);
+  EXPECT_EQ(log.events().front().text, "kept");
+}
+
+TEST(TraceLog, MatchingFiltersByCategory) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.Add(TraceEvent{0, TraceCategory::kSignal, "brick", 1, "sigdump posted"});
+  log.Add(TraceEvent{1, TraceCategory::kMigration, "brick", 1, "sigdump dump begun"});
+  log.Add(TraceEvent{2, TraceCategory::kNet, "brick", 1, "rsh connect"});
+  EXPECT_EQ(log.CountMatching("sigdump"), 2u);
+  EXPECT_EQ(log.CountMatching("sigdump", TraceCategory::kMigration), 1u);
+  EXPECT_EQ(log.CountMatching("sigdump", TraceCategory::kNet), 0u);
+  const auto all = log.Matching("sigdump");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->when, 0);  // oldest first
+  const auto mig = log.Matching("sigdump", TraceCategory::kMigration);
+  ASSERT_EQ(mig.size(), 1u);
+  EXPECT_EQ(mig[0]->text, "sigdump dump begun");
+  // An empty needle matches everything in the category.
+  EXPECT_EQ(log.CountMatching("", TraceCategory::kNet), 1u);
+}
+
 TEST(TraceLog, FormatContainsFields) {
   TraceEvent e{Seconds(2), TraceCategory::kMigration, "brick", 123, "hello"};
   const std::string s = e.Format();
