@@ -21,7 +21,7 @@ bool Movable(kernel::Kernel& host, const kernel::Proc& p) {
 
 EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
                               std::string_view from_host, std::string_view to_host,
-                              bool use_daemon) {
+                              bool use_daemon, const core::MigrateOptions& opts) {
   EvacuationReport report;
   kernel::Kernel* from = net.FindHost(from_host);
   if (from == nullptr) return report;
@@ -39,7 +39,7 @@ EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
       continue;
     }
     const int rc = core::Migrate(api, net, pid, std::string(from_host),
-                                 std::string(to_host), use_daemon);
+                                 std::string(to_host), use_daemon, opts);
     if (rc == 0) {
       report.moved.push_back(pid);
     } else {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/tools.h"
 #include "src/kernel/kernel.h"
 #include "src/net/network.h"
 
@@ -24,10 +25,14 @@ struct EvacuationReport {
 };
 
 // Moves every eligible VM process from `from_host` to `to_host`. The caller must
-// be root (it migrates other users' processes).
+// be root (it migrates other users' processes). Pass MigrateOptions::Robust()
+// as `opts` to evacuate through a flaky network: each migration then retries
+// transient failures and falls back to restarting on the source rather than
+// losing the process (counted as failed, since it did not move).
 EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
                               std::string_view from_host, std::string_view to_host,
-                              bool use_daemon = true);
+                              bool use_daemon = true,
+                              const core::MigrateOptions& opts = {});
 
 }  // namespace pmig::apps
 

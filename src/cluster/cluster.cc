@@ -13,6 +13,7 @@ namespace pmig::cluster {
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   trace_.set_enabled(config_.enable_trace);
   spans_.set_enabled(config_.enable_spans);
+  faults_ = std::make_unique<sim::FaultInjector>(config_.faults, &clock_);
   network_ = std::make_unique<net::Network>(&config_.costs);
   Boot();
 }
@@ -29,9 +30,11 @@ void Cluster::Boot() {
     k->set_program_registry(&programs_);
     k->metrics().set_enabled(config_.enable_metrics);
     k->set_span_log(&spans_);
+    k->set_fault_injector(faults_.get());
     network_->AddHost(k.get());
     hosts_.push_back(std::move(k));
   }
+  network_->set_fault_injector(faults_.get());
 
   // Cross-machine file access fails when the owning machine is down.
   std::map<const vfs::Filesystem*, kernel::Kernel*> owners;
@@ -52,6 +55,20 @@ void Cluster::Boot() {
         a->vfs().AddMount(mount_point, b->fs().root());
       } else {
         a->vfs().AddMount(mount_point, a->fs().root());
+      }
+    }
+  }
+
+  // Scheduled crash/recovery faults become ordinary clock timers. They fire
+  // between scheduler quanta, so a crash is atomic with respect to syscalls —
+  // exactly like pulling the plug on real hardware between instructions.
+  if (config_.faults.enabled) {
+    for (const sim::HostCrash& crash : config_.faults.crashes) {
+      kernel::Kernel* victim = network_->FindHost(crash.host);
+      if (victim == nullptr) continue;
+      clock_.CallAt(crash.at, [victim] { victim->set_down(true); });
+      if (crash.recover_at >= 0) {
+        clock_.CallAt(crash.recover_at, [victim] { victim->set_down(false); });
       }
     }
   }
@@ -95,6 +112,16 @@ bool Cluster::Step() {
     ran |= k->RunQuantum();
   }
   clock_.Advance(config_.costs.quantum);
+  // A timer firing during the trailing Advance (a sleep expiring, a timeout
+  // waking a blocked waiter) can make a process runnable after every kernel
+  // already took its quantum. That is still work: reporting false here would
+  // let the drivers below consult NextDeadline() — which may name a far-future
+  // timeout timer — and fast-forward the clock right past the runnable process.
+  if (!ran) {
+    for (auto& k : hosts_) {
+      if (k->HasRunnableProc()) return true;
+    }
+  }
   return ran;
 }
 

@@ -20,6 +20,7 @@
 #include "src/net/network.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
+#include "src/sim/fault.h"
 #include "src/sim/metrics.h"
 #include "src/sim/span.h"
 #include "src/sim/trace.h"
@@ -41,6 +42,9 @@ struct ClusterConfig {
   // virtual-time results are bit-identical to an uninstrumented build).
   bool enable_metrics = false;  // per-host counter/gauge/histogram registries
   bool enable_spans = false;    // migration phase spans (cluster-wide log)
+  // Deterministic fault injection (inert by default; when disabled no RNG is
+  // consumed, no timers are armed, and results stay bit-identical).
+  sim::FaultConfig faults;
 };
 
 class Cluster {
@@ -55,6 +59,7 @@ class Cluster {
   const std::vector<std::unique_ptr<kernel::Kernel>>& hosts() const { return hosts_; }
   net::Network& network() { return *network_; }
   sim::VirtualClock& clock() { return clock_; }
+  sim::FaultInjector& faults() { return *faults_; }
   sim::TraceLog& trace() { return trace_; }
   sim::SpanLog& spans() { return spans_; }
   const sim::SpanLog& spans() const { return spans_; }
@@ -107,6 +112,7 @@ class Cluster {
   sim::TraceLog trace_;
   sim::SpanLog spans_{&clock_, &trace_};
   kernel::ProgramRegistry programs_;
+  std::unique_ptr<sim::FaultInjector> faults_;
   std::vector<std::unique_ptr<kernel::Kernel>> hosts_;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<net::SpawnService>> spawn_services_;

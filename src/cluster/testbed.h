@@ -35,6 +35,8 @@ struct TestbedOptions {
   std::vector<vm::IsaLevel> isa;
   // Cost-model override (experiments that slow the network, speed the disk, ...).
   sim::CostModel costs;
+  // Deterministic fault injection (inert unless faults.enabled).
+  sim::FaultConfig faults;
 };
 
 // Host names follow the paper's examples: brick, schooner, brador, classic.
@@ -62,6 +64,7 @@ class Testbed {
     config.enable_trace = options.trace;
     config.enable_metrics = options.metrics;
     config.enable_spans = options.spans;
+    config.faults = options.faults;
     cluster_ = std::make_unique<cluster::Cluster>(std::move(config));
     core::InstallMigration(*cluster_);
     for (const auto& host : cluster_->hosts()) {

@@ -1,6 +1,7 @@
 #include "src/core/dump_format.h"
 
 #include "src/sim/bytes.h"
+#include "src/vm/aout.h"
 
 namespace pmig::core {
 
@@ -103,7 +104,25 @@ DumpPaths DumpPaths::For(int32_t pid, const std::string& dir) {
   p.aout = dir + "/a.out" + suffix;
   p.files = dir + "/files" + suffix;
   p.stack = dir + "/stack" + suffix;
+  p.ready = dir + "/ready" + suffix;
+  p.claim = dir + "/claim" + suffix;
   return p;
+}
+
+bool VerifyDumpBytes(const std::vector<std::pair<std::string, std::string>>& files) {
+  for (const auto& [path, bytes] : files) {
+    const size_t slash = path.rfind('/');
+    const std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+    if (base.rfind("a.out", 0) == 0) {
+      const std::vector<uint8_t> raw(bytes.begin(), bytes.end());
+      if (!vm::AoutImage::Parse(raw).ok()) return false;
+    } else if (base.rfind("files", 0) == 0) {
+      if (!FilesFile::Parse(bytes).ok()) return false;
+    } else if (base.rfind("stack", 0) == 0) {
+      if (!StackFile::Parse(bytes).ok()) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace pmig::core

@@ -62,14 +62,27 @@ struct StackFile {
   static Result<StackFile> Parse(const std::string& bytes);
 };
 
-// Dump-file names: "a.outXXXXX", "filesXXXXX", "stackXXXXX" in `dir`.
+// Dump-file names: "a.outXXXXX", "filesXXXXX", "stackXXXXX" in `dir`, plus the
+// two migration-transaction markers: "readyXXXXX" (dumpproc finished rewriting
+// filesXXXXX — the dump set is complete and consumable) and "claimXXXXX"
+// (created O_EXCL by `restart --claim` just before it commits; at most one
+// restart attempt per dump set can ever win it).
 struct DumpPaths {
   std::string aout;
   std::string files;
   std::string stack;
+  std::string ready;
+  std::string claim;
 
   static DumpPaths For(int32_t pid, const std::string& dir = "/usr/tmp");
 };
+
+// True when `bytes` parses as the dump file its basename prefix announces
+// ("a.out" -> vm::AoutImage, "files" -> FilesFile, "stack" -> StackFile).
+// Installed as MigrationHooks::verify_dump so a dump whose files would not
+// parse back — e.g. corrupted by an injected fault — is aborted and unlinked
+// instead of killing the process it can no longer represent.
+bool VerifyDumpBytes(const std::vector<std::pair<std::string, std::string>>& files);
 
 }  // namespace pmig::core
 

@@ -1,5 +1,6 @@
 #include "src/core/setup.h"
 
+#include "src/core/dump_format.h"
 #include "src/core/rest_proc.h"
 #include "src/core/shell.h"
 #include "src/core/sigdump.h"
@@ -11,6 +12,7 @@ void InstallMigration(cluster::Cluster& cluster) {
   kernel::MigrationHooks hooks;
   hooks.sigdump = BuildSigdump;
   hooks.rest_proc = RestProcImpl;
+  hooks.verify_dump = VerifyDumpBytes;
   for (const auto& host : cluster.hosts()) {
     host->set_migration_hooks(hooks);
   }

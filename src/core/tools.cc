@@ -117,7 +117,44 @@ void RewriteFilesForMigration(kernel::SyscallApi& api, FilesFile* files) {
   }
 }
 
-int Dumpproc(kernel::SyscallApi& api, int32_t pid) {
+namespace {
+
+bool FileExists(kernel::SyscallApi& api, const std::string& path) {
+  const Result<int> fd = api.Open(path, OpenFlags::kORdOnly);
+  if (!fd.ok()) return false;
+  const Status closed = api.Close(*fd);
+  (void)closed;
+  return true;
+}
+
+// Removes every trace of a dump set, ignoring files that are not there. Used
+// on the success path (the dump has been consumed) and on every failure path
+// (a half-written or unconsumable dump must not survive as an orphan).
+void CleanupDumpFiles(kernel::SyscallApi& api, const DumpPaths& paths) {
+  for (const std::string* p : {&paths.aout, &paths.files, &paths.stack,
+                               &paths.ready, &paths.claim}) {
+    const Status st = api.Unlink(*p);
+    (void)st;
+  }
+}
+
+}  // namespace
+
+bool IsTransientErrno(Errno e) {
+  return e == Errno::kTimedOut || e == Errno::kHostUnreach || e == Errno::kIo ||
+         e == Errno::kNoSpc;
+}
+
+MigrateOptions MigrateOptions::Robust() {
+  MigrateOptions o;
+  o.attempts = 3;
+  o.retry_backoff = sim::Millis(500);
+  o.attempt_timeout = sim::Seconds(30);
+  o.transactional = true;
+  return o;
+}
+
+int Dumpproc(kernel::SyscallApi& api, int32_t pid, bool tx) {
   // Signal phase: kill the process with SIGDUMP (kill() itself enforces that
   // only the superuser or the owner may do this), then poll for a.outXXXXX —
   // the dying process creates the dump files — sleeping one second after each
@@ -125,50 +162,85 @@ int Dumpproc(kernel::SyscallApi& api, int32_t pid) {
   // nests inside this one, so the signal phase's self time is the kill plus the
   // retry-sleep slack.
   const DumpPaths paths = DumpPaths::For(pid);
+  if (tx && FileExists(api, paths.ready)) return kToolOk;  // rerun after success
   bool appeared = false;
   {
     sim::SpanScope signal_phase(api.kernel().spans(), "signal", api.kernel().hostname(),
                                 api.pid());
     const Status killed = api.Kill(pid, vm::abi::kSigDump);
     if (!killed.ok()) {
-      Complain(api, "dumpproc: cannot signal process " + std::to_string(pid) + ": " +
-                        std::string(ErrnoName(killed.error())));
-      return 1;
-    }
-    for (int attempt = 0; attempt < 10; ++attempt) {
-      const Result<int> fd = api.Open(paths.aout, OpenFlags::kORdOnly);
-      if (fd.ok()) {
-        const Status closed = api.Close(*fd);
-        (void)closed;
-        appeared = true;
-        break;
+      // In a retried transaction the process may have dumped already (an
+      // earlier dumpproc signalled it, then timed out before finishing the
+      // rewrite): ESRCH with the dump files present means resume, not fail.
+      if (!(tx && killed.error() == Errno::kSrch && FileExists(api, paths.aout))) {
+        Complain(api, "dumpproc: cannot signal process " + std::to_string(pid) + ": " +
+                          std::string(ErrnoName(killed.error())));
+        return kToolFail;
       }
-      api.Sleep(sim::Seconds(1));
+      appeared = true;
+    } else {
+      for (int attempt = 0; attempt < 10; ++attempt) {
+        if (FileExists(api, paths.aout)) {
+          appeared = true;
+          break;
+        }
+        api.Sleep(sim::Seconds(1));
+      }
     }
   }
   if (!appeared) {
+    // The dump may be mid-write (an injected fault resumed the process, or the
+    // kernel is slow): leave nothing behind and let the caller retry.
+    CleanupDumpFiles(api, paths);
     Complain(api, "dumpproc: dump files for " + std::to_string(pid) + " never appeared");
-    return 1;
+    return tx ? kToolTransient : kToolFail;
   }
 
   Result<FilesFile> files = LoadDumpFile<FilesFile>(api, paths.files);
   if (!files.ok()) {
-    Complain(api, "dumpproc: bad " + paths.files);
-    return 1;
+    CleanupDumpFiles(api, paths);
+    Complain(api, "dumpproc: bad " + paths.files + " (" +
+                      std::string(ErrnoName(files.error())) + ")");
+    return kToolFail;
   }
 
   RewriteFilesForMigration(api, &files.value());
 
-  if (!WriteFileContents(api, paths.files, files->Serialize(), 0600).ok()) {
-    Complain(api, "dumpproc: cannot rewrite " + paths.files);
-    return 1;
+  if (tx) {
+    // Commit the rewrite atomically (write-to-temp + rename) and only then
+    // publish the ready marker: a reader that sees readyXXXXX sees a complete,
+    // rewritten dump set.
+    const std::string tmp = paths.files + ".tmp";
+    Status wrote = WriteFileContents(api, tmp, files->Serialize(), 0600);
+    if (wrote.ok()) wrote = api.Rename(tmp, paths.files);
+    if (wrote.ok()) wrote = WriteFileContents(api, paths.ready, "ok", 0600);
+    if (!wrote.ok()) {
+      const Status st = api.Unlink(tmp);
+      (void)st;
+      CleanupDumpFiles(api, paths);
+      Complain(api, "dumpproc: cannot rewrite " + paths.files + " (" +
+                        std::string(ErrnoName(wrote.error())) + ")");
+      return IsTransientErrno(wrote.error()) ? kToolTransient : kToolFail;
+    }
+    return kToolOk;
   }
-  return 0;
+
+  if (const Status wrote = WriteFileContents(api, paths.files, files->Serialize(), 0600);
+      !wrote.ok()) {
+    // A half-rewritten filesXXXXX is poison for restart; take the whole dump
+    // set down with it rather than leaving a trap (and an orphan) behind.
+    CleanupDumpFiles(api, paths);
+    Complain(api, "dumpproc: cannot rewrite " + paths.files + " (" +
+                      std::string(ErrnoName(wrote.error())) + ")");
+    return kToolFail;
+  }
+  return kToolOk;
 }
 
 // --- restart -----------------------------------------------------------------------
 
-int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host) {
+int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host,
+            bool claim) {
   std::string dir = "/usr/tmp";
   if (!dump_host.empty() && dump_host != api.GetHostname()) {
     dir = "/n/" + dump_host + "/usr/tmp";
@@ -224,6 +296,33 @@ int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host) 
     (void)st;
   }
 
+  // The claim: created exclusively next to the dump, immediately before the
+  // irreversible part (tearing down our fd table and overlaying ourselves).
+  // When several restart attempts race for one dump — a retried migrate whose
+  // earlier attempt only *looked* dead — exactly one creation succeeds; the
+  // rest learn the process is already being restarted and bow out.
+  if (claim) {
+    const Result<int> cfd =
+        api.Open(paths.claim, OpenFlags::kOWrOnly | OpenFlags::kOCreat | OpenFlags::kOExcl, 0600);
+    if (!cfd.ok()) {
+      if (cfd.error() == Errno::kExist) return kToolClaimed;
+      Complain(api, "restart: cannot claim " + paths.claim + " (" +
+                        std::string(ErrnoName(cfd.error())) + ")");
+      return kToolFail;
+    }
+    const Status closed = api.Close(*cfd);
+    (void)closed;
+  }
+  // Failures past the claim must release it, or the dump set becomes
+  // unconsumable: no later attempt could ever win the claim again.
+  auto fail = [&api, &paths, claim](int rc) {
+    if (claim) {
+      const Status st = api.Unlink(paths.claim);
+      (void)st;
+    }
+    return rc;
+  };
+
   // Rebuild the fd table: close everything (including our own stdio), then reopen
   // slot by slot so each file lands on its original descriptor number.
   for (int fd = 0; fd < kernel::kNoFile; ++fd) {
@@ -255,13 +354,13 @@ int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host) 
       // the restarted process can find an open file where it expects one, and to
       // preserve the order of open file numbers."
       const Result<int> null_fd = api.Open("/dev/null", OpenFlags::kORdWr);
-      if (!null_fd.ok()) return 1;
+      if (!null_fd.ok()) return fail(kToolFail);
       got = *null_fd;
       if (entry.kind == FilesEntry::Kind::kUnused) {
         placeholder[static_cast<size_t>(i)] = true;
       }
     }
-    if (got != i) return 1;  // fd-table invariant broken; bail out
+    if (got != i) return fail(kToolFail);  // fd-table invariant broken; bail out
   }
   for (int i = 0; i < kernel::kNoFile; ++i) {
     if (placeholder[static_cast<size_t>(i)]) {
@@ -285,56 +384,130 @@ int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host) 
   // rest_proc() — no return on success.
   const Status st = api.RestProc(paths.aout, paths.stack);
   (void)st;
-  return 1;
+  return fail(kToolFail);
 }
 
 // --- migrate -----------------------------------------------------------------------
 
 int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string from_host,
-            std::string to_host, bool use_daemon) {
+            std::string to_host, bool use_daemon, const MigrateOptions& opts) {
   const std::string local = api.GetHostname();
   if (from_host.empty()) from_host = local;
   if (to_host.empty()) to_host = local;
+  sim::MetricsRegistry& metrics = api.kernel().metrics();
 
   auto run_local = [&api](const std::string& program,
-                          std::vector<std::string> args) -> int {
-    const Result<int32_t> pid_or = api.SpawnProgram(program, std::move(args));
-    if (!pid_or.ok()) return 127;
-    const Result<kernel::WaitResult> wr = api.Wait();
-    if (!wr.ok()) return 127;
-    return wr->overlaid ? 0 : wr->info.exit_code;
+                          std::vector<std::string> args) -> Result<int> {
+    PMIG_TRY(int32_t child, api.SpawnProgram(program, std::move(args)));
+    (void)child;
+    PMIG_TRY(kernel::WaitResult wr, api.Wait());
+    return wr.overlaid ? 0 : wr.info.exit_code;
   };
   auto run_on = [&](const std::string& host, const std::string& program,
-                    std::vector<std::string> args) -> int {
+                    std::vector<std::string> args) -> Result<int> {
     if (host == local) return run_local(program, std::move(args));
-    const Result<int> rc = use_daemon
-                               ? net::DaemonExec(api, net, host, program, std::move(args))
-                               : net::Rsh(api, net, host, program, std::move(args));
-    return rc.ok() ? *rc : 127;
+    net::RemoteExecOptions remote_opts;
+    if (opts.attempt_timeout > 0) remote_opts.timeout = opts.attempt_timeout;
+    return use_daemon
+               ? net::DaemonExec(api, net, host, program, std::move(args), remote_opts)
+               : net::Rsh(api, net, host, program, std::move(args), remote_opts);
+  };
+  // One leg of the transaction: up to opts.attempts tries, retrying only
+  // failures a later attempt might not see again, with a doubling pause
+  // between tries so a recovering host gets a moment to come back.
+  auto run_leg = [&](const std::string& host, const std::string& program,
+                     std::vector<std::string> args) -> Result<int> {
+    sim::Nanos backoff = opts.retry_backoff;
+    for (int attempt = 0;; ++attempt) {
+      Result<int> rc = run_on(host, program, args);
+      const bool transient =
+          rc.ok() ? *rc == kToolTransient : IsTransientErrno(rc.error());
+      if (!transient || attempt + 1 >= opts.attempts) return rc;
+      metrics.Inc("migrate.retries");
+      if (backoff > 0) api.Sleep(backoff);
+      backoff *= 2;
+    }
+  };
+  auto describe = [](const Result<int>& rc) -> std::string {
+    if (!rc.ok()) return std::string(ErrnoName(rc.error()));
+    return "exit " + std::to_string(*rc);
   };
 
   const std::string pid_str = std::to_string(pid);
+  const std::string dump_dir =
+      from_host == local ? std::string("/usr/tmp") : "/n/" + from_host + "/usr/tmp";
+  const DumpPaths dump_paths = DumpPaths::For(pid, dump_dir);
   sim::SpanLog* spans = api.kernel().spans();
   // Root span for the whole command; its self time (network round trips, waits on
   // the remote tools) is reported as "other" in the run report.
   sim::SpanScope total(spans, "migrate", local, api.pid());
-  int rc;
+
+  std::vector<std::string> dump_args = {"-p", pid_str};
+  if (opts.transactional) dump_args.push_back("--tx");
+  Result<int> rc = Errno::kIo;
   {
     sim::SpanScope phase(spans, "dump", local, api.pid());
-    rc = run_on(from_host, "dumpproc", {"-p", pid_str});
+    rc = run_leg(from_host, "dumpproc", dump_args);
   }
-  if (rc != 0) {
-    Complain(api, "migrate: dumpproc on " + from_host + " failed (" + std::to_string(rc) + ")");
-    return rc;
+  if (!rc.ok() || *rc != 0) {
+    Complain(api, "migrate: dumpproc on " + from_host + " failed (" + describe(rc) + ")");
+    if (opts.transactional) CleanupDumpFiles(api, dump_paths);
+    return rc.ok() ? *rc : kTransportFailure;
   }
+
+  std::vector<std::string> restart_args = {"-p", pid_str, "-h", from_host};
+  if (opts.transactional) restart_args.push_back("--claim");
   {
     sim::SpanScope phase(spans, "restart", local, api.pid());
-    rc = run_on(to_host, "restart", {"-p", pid_str, "-h", from_host});
+    rc = run_leg(to_host, "restart", restart_args);
   }
-  if (rc != 0) {
-    Complain(api, "migrate: restart on " + to_host + " failed (" + std::to_string(rc) + ")");
+  if (rc.ok() && *rc == 0) {
+    if (opts.transactional) CleanupDumpFiles(api, dump_paths);
+    return kToolOk;
   }
-  return rc;
+  if (opts.transactional && rc.ok() && *rc == kToolClaimed) {
+    // A racing attempt (ours, from a try that only looked dead) won the claim
+    // and is consuming the dump right now. The process is fine; give the
+    // winner a beat to finish reading the files, then sweep up.
+    api.Sleep(sim::Seconds(1));
+    CleanupDumpFiles(api, dump_paths);
+    return kToolOk;
+  }
+  if (!opts.transactional) {
+    Complain(api, "migrate: restart on " + to_host + " failed (" + describe(rc) + ")");
+    return rc.ok() ? *rc : kTransportFailure;
+  }
+
+  // Every remote attempt failed. The process must not be lost: as long as the
+  // dump set is intact the process is exactly its dump files, so restart it on
+  // the host it came from — a migration that merely fails to move beats one
+  // that loses its subject. Only after a fallback restart is alive may the
+  // dump files be declared garbage.
+  Complain(api, "migrate: restart on " + to_host + " failed (" + describe(rc) +
+                    "); restarting on " + from_host);
+  if (!FileExists(api, dump_paths.aout) || !FileExists(api, dump_paths.files) ||
+      !FileExists(api, dump_paths.stack)) {
+    Complain(api, "migrate: dump files for " + pid_str + " are gone; cannot fall back");
+    return kToolFail;
+  }
+  sim::SpanScope phase(spans, "restart", local, api.pid());
+  rc = run_leg(from_host, "restart",
+               {"-p", pid_str, "-h", from_host, "--claim"});
+  if (rc.ok() && (*rc == 0 || *rc == kToolClaimed)) {
+    metrics.Inc("migrate.fallback_restarts");
+    if (*rc == kToolClaimed) api.Sleep(sim::Seconds(1));
+    CleanupDumpFiles(api, dump_paths);
+    return kMigrateFellBack;
+  }
+  Complain(api, "migrate: fallback restart on " + from_host + " failed (" + describe(rc) + ")");
+  if (rc.ok()) {
+    // The tool ran and rejected the dump set — it is unconsumable (corrupted,
+    // truncated), so keeping it helps nobody; sweep it up.
+    CleanupDumpFiles(api, dump_paths);
+  }
+  // On a transport failure the files stay: they are the process now, and a
+  // later restart (or the next migrate of the same pid) can still recover it.
+  return kToolFail;
 }
 
 // --- undump ------------------------------------------------------------------------
@@ -426,6 +599,9 @@ struct ParsedArgs {
   std::string f_host;
   std::string t_host;
   bool daemon = false;
+  bool tx = false;
+  bool claim = false;
+  bool robust = false;
   std::vector<std::string> positional;
   bool ok = true;
 };
@@ -451,6 +627,12 @@ ParsedArgs ParseArgs(const std::vector<std::string>& args) {
       if (const std::string* v = next()) out.t_host = *v;
     } else if (a == "--daemon") {
       out.daemon = true;
+    } else if (a == "--tx") {
+      out.tx = true;
+    } else if (a == "--claim") {
+      out.claim = true;
+    } else if (a == "--robust") {
+      out.robust = true;
     } else {
       out.positional.push_back(a);
     }
@@ -463,29 +645,30 @@ ParsedArgs ParseArgs(const std::vector<std::string>& args) {
 int DumpprocMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {
   const ParsedArgs parsed = ParseArgs(args);
   if (!parsed.ok || parsed.pid < 0) {
-    Complain(api, "usage: dumpproc -p pid");
-    return 2;
+    Complain(api, "usage: dumpproc -p pid [--tx]");
+    return kToolUsage;
   }
-  return Dumpproc(api, parsed.pid);
+  return Dumpproc(api, parsed.pid, parsed.tx);
 }
 
 int RestartMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {
   const ParsedArgs parsed = ParseArgs(args);
   if (!parsed.ok || parsed.pid < 0) {
-    Complain(api, "usage: restart -p pid [-h host]");
-    return 2;
+    Complain(api, "usage: restart -p pid [-h host] [--claim]");
+    return kToolUsage;
   }
-  return Restart(api, parsed.pid, parsed.h_host);
+  return Restart(api, parsed.pid, parsed.h_host, parsed.claim);
 }
 
 int MigrateMain(kernel::SyscallApi& api, net::Network& net,
                 const std::vector<std::string>& args) {
   const ParsedArgs parsed = ParseArgs(args);
   if (!parsed.ok || parsed.pid < 0) {
-    Complain(api, "usage: migrate -p pid [-f host] [-t host] [--daemon]");
-    return 2;
+    Complain(api, "usage: migrate -p pid [-f host] [-t host] [--daemon] [--robust]");
+    return kToolUsage;
   }
-  return Migrate(api, net, parsed.pid, parsed.f_host, parsed.t_host, parsed.daemon);
+  return Migrate(api, net, parsed.pid, parsed.f_host, parsed.t_host, parsed.daemon,
+                 parsed.robust ? MigrateOptions::Robust() : MigrateOptions{});
 }
 
 int UndumpMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {

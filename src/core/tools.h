@@ -18,6 +18,36 @@
 
 namespace pmig::core {
 
+// Exit codes shared by the migration tools. The interesting ones drive the
+// migrate transaction: kToolTransient marks a failure worth retrying (a poll
+// that timed out, a host that was briefly unreachable), kToolClaimed means a
+// concurrent restart already won the dump's claim file (the process IS running
+// — the caller lost a race, not the process), and kMigrateFellBack reports
+// that after every remote attempt failed the process was restarted on its
+// source host. kTransportFailure is the historical rsh-style 127.
+constexpr int kToolOk = 0;
+constexpr int kToolFail = 1;
+constexpr int kToolUsage = 2;
+constexpr int kToolTransient = 3;
+constexpr int kToolClaimed = 4;
+constexpr int kMigrateFellBack = 5;
+constexpr int kTransportFailure = 127;
+
+// Errors that a later attempt might not see again: lost messages, crashed-but-
+// rebooting hosts, NFS flakes, a disk-full window.
+bool IsTransientErrno(Errno e);
+
+// How hard migrate tries. The default is the paper's one-shot behavior; the
+// transaction (retries, timeouts, claim files, fallback restart on the source)
+// is opt-in so default-config runs are unchanged.
+struct MigrateOptions {
+  int attempts = 1;                // total tries per leg (dump, restart)
+  sim::Nanos retry_backoff = 0;    // pause before the second try; doubles after
+  sim::Nanos attempt_timeout = 0;  // per remote command; 0 = transport default
+  bool transactional = false;      // dumpproc --tx / restart --claim / GC / fallback
+  static MigrateOptions Robust();
+};
+
 // Userland realpath: resolves every symbolic link in `path` with readlink(),
 // iteratively, as Section 4.3 prescribes for dump-file rewriting. Does not require
 // the final component to exist if the parent chain does.
@@ -29,21 +59,36 @@ Result<std::string> Realpath(kernel::SyscallApi& api, const std::string& path);
 // was dumped on. Exposed for alternative migration transports (see precopy.h).
 void RewriteFilesForMigration(kernel::SyscallApi& api, FilesFile* files);
 
-// dumpproc -p <pid>: SIGDUMPs the process, then rewrites filesXXXXX — resolving
-// symlinks, turning terminals into /dev/tty, and prepending /n/<thishost> to local
-// paths so the files can be reopened from any machine. Returns 0 on success.
-int Dumpproc(kernel::SyscallApi& api, int32_t pid);
+// dumpproc -p <pid> [--tx]: SIGDUMPs the process, then rewrites filesXXXXX —
+// resolving symlinks, turning terminals into /dev/tty, and prepending
+// /n/<thishost> to local paths so the files can be reopened from any machine.
+// Returns 0 on success; a mid-flight failure unlinks whatever partial dump
+// files exist so a half-written dump never survives. In --tx mode the command
+// is additionally idempotent (a rerun after the process already dumped resumes
+// the rewrite), reports a poll timeout as kToolTransient, and marks a complete
+// dump set with a readyXXXXX file.
+int Dumpproc(kernel::SyscallApi& api, int32_t pid, bool tx = false);
 
-// restart -p <pid> [-h <host>]: restores a dumped process on this machine, at this
-// terminal. `dump_host` empty means the dump is local. Does not return on success
-// (the calling process is overlaid); returns nonzero on failure.
-int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host);
+// restart -p <pid> [-h <host>] [--claim]: restores a dumped process on this
+// machine, at this terminal. `dump_host` empty means the dump is local. Does
+// not return on success (the calling process is overlaid); returns nonzero on
+// failure. With `claim`, creates claimXXXXX next to the dump (O_EXCL) before
+// committing, so at most one of several racing restart attempts consumes the
+// dump; the losers exit kToolClaimed.
+int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host,
+            bool claim = false);
 
-// migrate -p <pid> [-f <host>] [-t <host>]: dumpproc + restart, via rsh when either
-// end is remote. With `use_daemon`, remote ends go through the migration daemon
-// (the Section 6.4 improvement) instead of rsh.
+// migrate -p <pid> [-f host] [-t host] [--daemon] [--robust]: dumpproc +
+// restart, via rsh when either end is remote. With `use_daemon`, remote ends go
+// through the migration daemon (the Section 6.4 improvement) instead of rsh.
+// `opts` turns the command into a transaction: transient failures are retried
+// with backoff, each remote command is bounded by a timeout, and when every
+// attempt to restart on the target fails the process is restarted on its
+// source host instead (kMigrateFellBack) — the process is never lost, and the
+// dump files are unlinked on success and on every failure path.
 int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string from_host,
-            std::string to_host, bool use_daemon = false);
+            std::string to_host, bool use_daemon = false,
+            const MigrateOptions& opts = {});
 
 // undump <a.out> <core> <output>: combines an executable and a core dump into a new
 // executable whose static data is the core's.

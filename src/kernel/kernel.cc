@@ -312,6 +312,14 @@ bool Kernel::HasTimedWork() const {
   return false;
 }
 
+bool Kernel::HasRunnableProc() const {
+  if (down_) return false;
+  for (const auto& p : procs_) {
+    if (p->state == ProcState::kRunnable) return true;
+  }
+  return false;
+}
+
 void Kernel::WakeBlockedProcs() {
   for (auto& p : procs_) {
     if (p->state == ProcState::kBlocked && p->unblock_check && p->unblock_check()) {

@@ -104,6 +104,12 @@ struct MigrationHooks {
   std::function<Status(Kernel&, Proc&, const std::string& aout_path,
                        const std::string& stack_path)>
       rest_proc;
+  // Optional parse-back check of freshly written dump bytes (path -> bytes).
+  // Returns false when any file fails to parse — the kernel then aborts the
+  // dump, removes the partial files, and resumes the process instead of
+  // terminating it against an unusable dump.
+  std::function<bool(const std::vector<std::pair<std::string, std::string>>&)>
+      verify_dump;
 };
 
 struct StatInfo {
@@ -168,6 +174,13 @@ class Kernel {
   // Cluster-owned span log for migration phase attribution (may stay null).
   void set_span_log(sim::SpanLog* spans) { spans_ = spans; }
   sim::SpanLog* spans() { return spans_; }
+  // Cluster-owned fault injector (null or disabled in default configs). Also
+  // hands it to the VFS so file-I/O syscalls can draw injected errors.
+  void set_fault_injector(sim::FaultInjector* faults) {
+    faults_ = faults;
+    vfs_->set_fault_injector(faults, hostname_);
+  }
+  sim::FaultInjector* faults() { return faults_; }
   void set_migration_hooks(MigrationHooks hooks) { hooks_ = std::move(hooks); }
   // First pid this kernel hands out. The cluster gives each machine a distinct
   // range so cross-host pid collisions don't confuse tests and dump-file names.
@@ -216,6 +229,7 @@ class Kernel {
   // True if any process is runnable or sleeping-on-a-timer (blocked-forever
   // daemons do not count).
   bool HasTimedWork() const;
+  bool HasRunnableProc() const;
 
   // --- System calls (Proc& is the caller). Shared by the VM trap dispatcher and
   // by SyscallApi (native processes). ---
@@ -345,6 +359,7 @@ class Kernel {
   KernelTimers timers_;
   sim::MetricsRegistry metrics_;
   sim::SpanLog* spans_ = nullptr;
+  sim::FaultInjector* faults_ = nullptr;
   MigrationHooks hooks_;
   const ProgramRegistry* programs_ = nullptr;
 
@@ -423,6 +438,10 @@ class SyscallApi : public vfs::CostSink {
 
   // For the net layer: block until `check` passes, charging nothing.
   void BlockUntil(std::function<bool()> check);
+  // Like BlockUntil but gives up after `timeout` of virtual time. Returns the
+  // final value of `check` — false means the wait expired. timeout <= 0 waits
+  // forever (and returns true).
+  bool BlockUntilFor(std::function<bool()> check, sim::Nanos timeout);
 
   sim::Nanos Now() const;
 

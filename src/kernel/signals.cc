@@ -151,10 +151,40 @@ void Kernel::StartMigrationDump(Proc& p) {
         Proc* proc = FindProc(pid);
         if (proc == nullptr || proc->state != ProcState::kSleeping) return;  // killed
         proc->wake_timer = 0;
+        // Write the dump, subject to injected disk-full and corruption faults.
+        // On any failure the partial files are removed and the process resumes
+        // — a dump that cannot land intact must never kill its process.
+        bool aborted = false;
+        std::vector<std::pair<std::string, std::string>> written;
         for (const auto& [path, contents] : files) {
-          vfs_->SetupCreateFile(path, contents, proc->creds.uid, 0600);  // owner-only: the
+          if (faults_ != nullptr && faults_->DiskFull(hostname_, &metrics_)) {
+            Trace(sim::TraceCategory::kMigration, pid,
+                  "dump aborted: disk full writing " + path);
+            aborted = true;
+            break;
+          }
+          std::string bytes = contents;
+          if (faults_ != nullptr && faults_->CorruptsDump(&metrics_)) {
+            faults_->CorruptBytes(&bytes);
+            Trace(sim::TraceCategory::kMigration, pid, "dump file corrupted " + path);
+          }
+          vfs_->SetupCreateFile(path, bytes, proc->creds.uid, 0600);  // owner-only: the
           // restart permission model rests on dump-file access
+          written.emplace_back(path, std::move(bytes));
           Trace(sim::TraceCategory::kMigration, pid, "dump file " + path);
+        }
+        if (!aborted && hooks_.verify_dump && !hooks_.verify_dump(written)) {
+          Trace(sim::TraceCategory::kMigration, pid,
+                "dump aborted: verification failed");
+          aborted = true;
+        }
+        if (aborted) {
+          for (const auto& wf : written) vfs_->SetupUnlink(wf.first);
+          metrics_.Inc("migration.dump_aborts");
+          if (spans_ != nullptr) spans_->End(span_id);
+          proc->state = ProcState::kRunnable;  // resume; the process is not lost
+          proc->unblock_check = nullptr;
+          return;
         }
         if (spans_ != nullptr) spans_->End(span_id);
         ExitInfo info;

@@ -134,6 +134,7 @@ Result<int> Kernel::SysOpen(Proc& p, std::string_view path, int32_t flags, uint1
       inode = r.inode;
     } else {
       if (!vfs::CheckAccess(*rp.dir, p.creds.euid, vfs::kWantWrite)) return Errno::kAcces;
+      PMIG_RETURN_IF_ERROR(vfs_->InjectedIoFault(*rp.dir, /*write=*/true));
       vfs::Filesystem* owner = rp.dir->fs;
       inode = owner->NewRegular(p.creds.euid, mode);
       PMIG_RETURN_IF_ERROR(owner->Link(rp.dir, rp.name, inode));
@@ -213,6 +214,7 @@ Result<std::string> Kernel::SysRead(Proc& p, int fd, int64_t max) {
   vfs::Inode& inode = *file->inode;
   if (inode.IsDir()) return Errno::kIsDir;
   if (inode.IsRegular()) {
+    PMIG_RETURN_IF_ERROR(vfs_->InjectedIoFault(inode, /*write=*/false));
     std::string out;
     const int64_t n = vfs_->ReadAt(inode, file->offset, max, &out, sink);
     file->offset += n;
@@ -252,6 +254,7 @@ Result<int64_t> Kernel::SysWrite(Proc& p, int fd, std::string_view data) {
   vfs::Inode& inode = *file->inode;
   if (inode.IsDir()) return Errno::kIsDir;
   if (inode.IsRegular()) {
+    PMIG_RETURN_IF_ERROR(vfs_->InjectedIoFault(inode, /*write=*/true));
     if ((file->flags & OpenFlags::kOAppend) != 0) file->offset = inode.size();
     const int64_t n = vfs_->WriteAt(inode, file->offset, data, sink);
     file->offset += n;
@@ -1115,6 +1118,39 @@ void SyscallApi::BlockUntil(std::function<bool()> check) {
     kernel_->BlockProc(p, check);
     p.native->Yield();
   }
+}
+
+bool SyscallApi::BlockUntilFor(std::function<bool()> check, sim::Nanos timeout) {
+  if (timeout <= 0) {
+    BlockUntil(std::move(check));
+    return true;
+  }
+  Proc& p = proc();
+  sim::VirtualClock& clock = kernel_->clock();
+  const sim::Nanos deadline = clock.now() + timeout;
+  auto expired = [&clock, deadline] { return clock.now() >= deadline; };
+  while (!check() && !expired()) {
+    // A wake-up timer so the blocked-proc poll runs when the deadline passes
+    // even if nothing else is happening. CancelTimer must not run after the
+    // timer fired (it would corrupt the clock's live-timer count), hence the
+    // shared flag; a timer left live after the proc dies degenerates to a
+    // no-op when it finds no blocked proc.
+    auto fired = std::make_shared<bool>(false);
+    Kernel* k = kernel_;
+    const int32_t pid = pid_;
+    const uint64_t timer = clock.CallAt(deadline, [k, pid, fired] {
+      *fired = true;
+      Proc* bp = k->FindProc(pid);
+      if (bp != nullptr && bp->state == ProcState::kBlocked) {
+        bp->state = ProcState::kRunnable;
+        bp->unblock_check = nullptr;
+      }
+    });
+    kernel_->BlockProc(p, [check, expired] { return check() || expired(); });
+    p.native->Yield();
+    if (!*fired) clock.CancelTimer(timer);
+  }
+  return check();
 }
 
 Result<int> SyscallApi::Open(std::string_view path, int32_t flags, uint16_t mode) {

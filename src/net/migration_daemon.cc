@@ -8,7 +8,7 @@ int MigrationDaemonMain(kernel::SyscallApi& api, SpawnService* service) {
   for (;;) {
     api.BlockUntil([service] { return service->HasPending(); });
     SpawnService::RequestPtr req = service->Pop();
-    if (req == nullptr) continue;
+    if (req == nullptr || req->abandoned) continue;
 
     // The fork/setuid/exec dance a real root daemon performs for the requester.
     kernel::SpawnOptions opts;
@@ -29,13 +29,12 @@ int MigrationDaemonMain(kernel::SyscallApi& api, SpawnService* service) {
 }
 
 Result<int> DaemonExec(kernel::SyscallApi& api, Network& net, std::string_view host,
-                       const std::string& program, std::vector<std::string> args) {
+                       const std::string& program, std::vector<std::string> args,
+                       const RemoteExecOptions& opts) {
   SpawnService* service = net.FindSpawnService(host);
   if (service == nullptr) return Errno::kHostUnreach;
-  if (kernel::Kernel* remote = net.FindHost(host);
-      remote == nullptr || remote->down()) {
-    return Errno::kHostUnreach;
-  }
+  kernel::Kernel* remote = net.FindHost(host);
+  if (remote == nullptr || remote->down()) return Errno::kHostUnreach;
 
   kernel::Kernel& local = api.kernel();
   if (local.metrics().enabled()) {
@@ -48,6 +47,13 @@ Result<int> DaemonExec(kernel::SyscallApi& api, Network& net, std::string_view h
     sim::SpanScope setup(local.spans(), "setup", local.hostname(), api.pid());
     api.Sleep(net.costs().daemon_request);
   }
+  // The host may have crashed during connect, or the request may be lost on the
+  // wire (injected transient fault).
+  if (remote->down()) return Errno::kHostUnreach;
+  if (sim::FaultInjector* f = net.faults();
+      f != nullptr && f->NetSendFails(&local.metrics())) {
+    return Errno::kTimedOut;
+  }
 
   auto req = std::make_shared<SpawnService::Request>();
   req->program = program;
@@ -55,7 +61,16 @@ Result<int> DaemonExec(kernel::SyscallApi& api, Network& net, std::string_view h
   req->creds = kernel::Credentials{api.GetUid(), 0, api.GetEuid(), 0};
   service->Push(req);
 
-  api.BlockUntil([req] { return req->done; });
+  // A host that powers off after accepting the request used to leave the
+  // client blocked until the simulation's run limit; now the wait also ends on
+  // host-down and on timeout, and the orphaned request is marked abandoned so
+  // a recovered daemon won't run it for nobody.
+  api.BlockUntilFor([req, remote] { return req->done || remote->down(); },
+                    opts.timeout);
+  if (!req->done) {
+    req->abandoned = true;
+    return remote->down() ? Errno::kHostUnreach : Errno::kTimedOut;
+  }
   if (req->spawn_failed) return Errno::kNoEnt;
   return req->exit_code;
 }

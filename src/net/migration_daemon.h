@@ -34,6 +34,9 @@ class SpawnService {
     bool done = false;
     bool spawn_failed = false;
     int exit_code = -1;
+    // Set by a client that gave up waiting (timeout / host down): the daemon
+    // discards the request instead of running work nobody will collect.
+    bool abandoned = false;
   };
   using RequestPtr = std::shared_ptr<Request>;
 
@@ -55,9 +58,12 @@ class SpawnService {
 int MigrationDaemonMain(kernel::SyscallApi& api, SpawnService* service);
 
 // Client side: runs `program args...` on `host` through its migration daemon.
-// Blocks until the command completes (or is overlaid); returns its exit code.
+// Blocks until the command completes (or is overlaid), up to opts.timeout;
+// returns its exit code, kHostUnreach if the host is (or goes) down, or
+// kTimedOut when the wait expires or the request is lost in transit.
 Result<int> DaemonExec(kernel::SyscallApi& api, Network& net, std::string_view host,
-                       const std::string& program, std::vector<std::string> args);
+                       const std::string& program, std::vector<std::string> args,
+                       const RemoteExecOptions& opts = {});
 
 }  // namespace pmig::net
 

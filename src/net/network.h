@@ -15,10 +15,21 @@
 
 #include "src/kernel/kernel.h"
 #include "src/sim/cost_model.h"
+#include "src/sim/fault.h"
 
 namespace pmig::net {
 
 class SpawnService;
+
+// Knobs for a single remote execution (Rsh / DaemonExec). The default timeout
+// bounds how long the caller blocks waiting for the remote side: a target that
+// powers off after accepting the request used to hang the client until the
+// simulation's RunUntil limit; now the wait wakes at the deadline and returns
+// kTimedOut (or kHostUnreach when the host is observably down). timeout <= 0
+// means wait forever (the old behaviour).
+struct RemoteExecOptions {
+  sim::Nanos timeout = sim::Seconds(300);
+};
 
 class Network {
  public:
@@ -44,10 +55,16 @@ class Network {
   }
   SpawnService* FindSpawnService(std::string_view hostname);
 
+  // Cluster-wide fault injector (null or disabled in default configs). The
+  // remote-exec paths consult it to drop requests on the wire.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+  sim::FaultInjector* faults() const { return faults_; }
+
  private:
   const sim::CostModel* costs_;
   std::vector<kernel::Kernel*> hosts_;
   std::map<std::string, SpawnService*, std::less<>> spawn_services_;
+  sim::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace pmig::net

@@ -6,7 +6,8 @@
 namespace pmig::net {
 
 Result<int> Rsh(kernel::SyscallApi& api, Network& net, std::string_view host,
-                const std::string& program, std::vector<std::string> args) {
+                const std::string& program, std::vector<std::string> args,
+                const RemoteExecOptions& opts) {
   kernel::Kernel* remote = net.FindHost(host);
   if (remote == nullptr || remote->down()) return Errno::kHostUnreach;
 
@@ -23,18 +24,26 @@ Result<int> Rsh(kernel::SyscallApi& api, Network& net, std::string_view host,
     sim::SpanScope setup(local.spans(), "setup", local.hostname(), api.pid());
     api.Sleep(net.costs().rsh_setup);
   }
+  // The host may have crashed while we were connecting, or the request may be
+  // lost on the wire (injected transient fault — indistinguishable from a
+  // dropped packet, so it reports as a timeout).
+  if (remote->down()) return Errno::kHostUnreach;
+  if (sim::FaultInjector* f = net.faults();
+      f != nullptr && f->NetSendFails(&metrics)) {
+    return Errno::kTimedOut;
+  }
 
   // The remote command gets a network pipe for stdio, not a terminal.
   auto stdin_ch = std::make_shared<kernel::Channel>();
   stdin_ch->write_open = false;  // immediate EOF, like `rsh host cmd < /dev/null`
   auto stdout_ch = std::make_shared<kernel::Channel>();
 
-  kernel::SpawnOptions opts;
-  opts.creds = kernel::Credentials{api.GetUid(), 0, api.GetEuid(), 0};
-  opts.tty = nullptr;
-  opts.cwd = "/";
-  opts.ppid = 0;  // child of the (unmodelled) remote rshd
-  const Result<int32_t> pid_or = remote->SpawnProgram(program, std::move(args), opts);
+  kernel::SpawnOptions spawn_opts;
+  spawn_opts.creds = kernel::Credentials{api.GetUid(), 0, api.GetEuid(), 0};
+  spawn_opts.tty = nullptr;
+  spawn_opts.cwd = "/";
+  spawn_opts.ppid = 0;  // child of the (unmodelled) remote rshd
+  const Result<int32_t> pid_or = remote->SpawnProgram(program, std::move(args), spawn_opts);
   if (!pid_or.ok()) return pid_or.error();
   const int32_t rpid = *pid_or;
 
@@ -49,12 +58,19 @@ Result<int> Rsh(kernel::SyscallApi& api, Network& net, std::string_view host,
     remote->InstallFd(*rproc, 2, out);
   }
 
-  // Wait for remote completion (exit, or overlay by rest_proc()).
-  api.BlockUntil([remote, rpid] {
-    kernel::Proc* p = remote->FindAnyProc(rpid);
-    if (p == nullptr) return true;
-    return !p->Alive() || p->overlaid;
-  });
+  // Wait for remote completion (exit, or overlay by rest_proc()). The host
+  // dying mid-command also ends the wait; so does the timeout — a remote
+  // machine wedged forever must not wedge the caller with it.
+  const bool completed = api.BlockUntilFor(
+      [remote, rpid] {
+        if (remote->down()) return true;
+        kernel::Proc* p = remote->FindAnyProc(rpid);
+        if (p == nullptr) return true;
+        return !p->Alive() || p->overlaid;
+      },
+      opts.timeout);
+  if (remote->down()) return Errno::kHostUnreach;
+  if (!completed) return Errno::kTimedOut;
 
   int exit_code = 0;
   bool overlaid = false;

@@ -26,9 +26,12 @@
 namespace pmig::net {
 
 // Runs `program args...` on `host` under the caller's credentials; blocks until the
-// remote command exits (or is overlaid). Returns its exit code.
+// remote command exits (or is overlaid), up to opts.timeout. Returns its exit code,
+// kHostUnreach if the host is (or goes) down, or kTimedOut when the wait expires
+// or the request is lost to an injected network fault.
 Result<int> Rsh(kernel::SyscallApi& api, Network& net, std::string_view host,
-                const std::string& program, std::vector<std::string> args);
+                const std::string& program, std::vector<std::string> args,
+                const RemoteExecOptions& opts = {});
 
 }  // namespace pmig::net
 

@@ -1,0 +1,53 @@
+#include "src/sim/fault.h"
+
+namespace pmig::sim {
+
+bool FaultInjector::Draw(double rate, const char* metric,
+                         MetricsRegistry* metrics) {
+  if (!config_.enabled || rate <= 0) return false;
+  if (!rng_.Chance(rate)) return false;
+  if (metrics != nullptr) metrics->Inc(metric);
+  return true;
+}
+
+bool FaultInjector::NetSendFails(MetricsRegistry* metrics) {
+  if (!config_.enabled) return false;
+  if (net_sends_ < config_.net_fail_first) {
+    ++net_sends_;
+    if (metrics != nullptr) metrics->Inc("fault.injected.net_send");
+    return true;
+  }
+  ++net_sends_;
+  return Draw(config_.net_send_failure_rate, "fault.injected.net_send", metrics);
+}
+
+bool FaultInjector::NfsIoFails(MetricsRegistry* metrics) {
+  return Draw(config_.nfs_error_rate, "fault.injected.nfs_io", metrics);
+}
+
+bool FaultInjector::DiskFull(std::string_view host, MetricsRegistry* metrics) {
+  if (!config_.enabled || config_.disk_full.empty()) return false;
+  const Nanos now = clock_->now();
+  for (const DiskFullWindow& w : config_.disk_full) {
+    if (w.host == host && now >= w.begin && now < w.end) {
+      if (metrics != nullptr) metrics->Inc("fault.injected.disk_full");
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::CorruptsDump(MetricsRegistry* metrics) {
+  return Draw(config_.dump_corruption_rate, "fault.injected.dump_corrupt",
+              metrics);
+}
+
+void FaultInjector::CorruptBytes(std::string* bytes) {
+  if (bytes == nullptr || bytes->empty()) return;
+  const size_t limit = bytes->size() < 4 ? bytes->size() : 4;
+  const size_t index = rng_.Below(limit);
+  const int bit = static_cast<int>(rng_.Below(8));
+  (*bytes)[index] = static_cast<char>((*bytes)[index] ^ (1 << bit));
+}
+
+}  // namespace pmig::sim

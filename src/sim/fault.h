@@ -1,0 +1,106 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// One FaultInjector is shared by every kernel and the network, the same way one
+// VirtualClock is: because the whole simulation is a deterministic sequence of
+// events, the injector's RNG draws happen in a fixed order and a given seed
+// replays the exact same fault schedule every run. Faults surface to the code
+// under test only as ordinary Errno values (ETIMEDOUT, EIO, ENOSPC, ...); the
+// mechanism being exercised cannot tell an injected fault from a real one.
+//
+// The injector is configured through ClusterConfig::faults and is entirely
+// inert — no RNG draws, no timers, no metrics — unless `enabled` is set, so
+// default-config runs stay bit-identical to a build without it.
+
+#ifndef PMIG_SRC_SIM_FAULT_H_
+#define PMIG_SRC_SIM_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/metrics.h"
+#include "src/sim/rng.h"
+
+namespace pmig::sim {
+
+// A half-open virtual-time window [begin, end) during which writes to `host`'s
+// local disk fail with ENOSPC.
+struct DiskFullWindow {
+  std::string host;
+  Nanos begin = 0;
+  Nanos end = 0;
+};
+
+// Schedules `host` to power off at virtual time `at` and (optionally) come
+// back at `recover_at`. recover_at < 0 means the host stays down.
+struct HostCrash {
+  std::string host;
+  Nanos at = 0;
+  Nanos recover_at = -1;
+};
+
+struct FaultConfig {
+  bool enabled = false;
+  uint64_t seed = 1;
+
+  // Per-draw probabilities in [0, 1].
+  double net_send_failure_rate = 0;   // rsh/daemon request lost on the wire
+  double nfs_error_rate = 0;          // remote file I/O returns EIO
+  double dump_corruption_rate = 0;    // a dump file's bytes are flipped on disk
+
+  // Deterministically fail the first K network sends regardless of the rate —
+  // lets tests script "one transient failure, then success" without tuning
+  // probabilities.
+  int net_fail_first = 0;
+
+  std::vector<DiskFullWindow> disk_full;
+  std::vector<HostCrash> crashes;
+};
+
+// The draw methods each consume RNG state only when their rate is nonzero, and
+// bump the matching `fault.injected.*` counter when they fire. Callers pass the
+// metrics registry of whichever host observed the fault (may be null).
+class FaultInjector {
+ public:
+  FaultInjector(FaultConfig config, const VirtualClock* clock)
+      : config_(std::move(config)), clock_(clock), rng_(config_.seed) {}
+
+  bool enabled() const { return config_.enabled; }
+  const FaultConfig& config() const { return config_; }
+
+  // Turns all future injection off (scheduled crashes already armed as cluster
+  // timers still fire). Chaos tests use this to drain the system cleanly after
+  // the fault phase.
+  void Disarm() { config_.enabled = false; }
+
+  // A queued rsh/daemon request is lost in transit.
+  bool NetSendFails(MetricsRegistry* metrics);
+
+  // A read/write against a remote (NFS) inode fails with EIO.
+  bool NfsIoFails(MetricsRegistry* metrics);
+
+  // True while `host` sits inside a configured disk-full window.
+  bool DiskFull(std::string_view host, MetricsRegistry* metrics);
+
+  // This dump file's on-disk bytes get corrupted.
+  bool CorruptsDump(MetricsRegistry* metrics);
+
+  // Flips one bit in the magic-number prefix of `bytes` so the corruption is
+  // structural — every dump-file parser rejects it — rather than silently
+  // landing in payload bytes a restart might survive.
+  void CorruptBytes(std::string* bytes);
+
+ private:
+  bool Draw(double rate, const char* metric, MetricsRegistry* metrics);
+
+  FaultConfig config_;
+  const VirtualClock* clock_;
+  Rng rng_;
+  int net_sends_ = 0;
+};
+
+}  // namespace pmig::sim
+
+#endif  // PMIG_SRC_SIM_FAULT_H_

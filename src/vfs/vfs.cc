@@ -236,6 +236,22 @@ InodePtr Vfs::SetupCreateFile(std::string_view path, std::string_view contents, 
   return file;
 }
 
+Status Vfs::InjectedIoFault(const Inode& inode, bool write) const {
+  if (faults_ == nullptr || !faults_->enabled()) return Status::Ok();
+  if (InodeIsRemote(inode)) {
+    if (faults_->NfsIoFails(metrics_)) return Errno::kIo;
+  } else if (write && faults_->DiskFull(fault_host_, metrics_)) {
+    return Errno::kNoSpc;
+  }
+  return Status::Ok();
+}
+
+void Vfs::SetupUnlink(std::string_view path) {
+  auto rp = ResolveParent(RootState(), path, nullptr);
+  if (!rp.ok()) return;
+  rp->dir->entries.erase(rp->name);
+}
+
 InodePtr Vfs::SetupSymlink(std::string_view path, std::string_view target) {
   InodePtr dir = SetupMkdirAll(Dirname(path));
   const std::string name = Basename(path);

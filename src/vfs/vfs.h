@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/sim/cost_model.h"
+#include "src/sim/fault.h"
 #include "src/sim/metrics.h"
 #include "src/sim/result.h"
 #include "src/vfs/filesystem.h"
@@ -73,6 +74,20 @@ class Vfs {
   // Installed by the owning kernel: byte/block counters for ReadAt/WriteAt land
   // here. May stay null (tests construct a bare Vfs); recording never charges cost.
   void set_metrics(sim::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  // Installed by the owning kernel: the cluster-wide fault injector plus this
+  // machine's hostname (for disk-full window matching). Stays null in default
+  // configs, making InjectedIoFault a dead branch.
+  void set_fault_injector(sim::FaultInjector* faults, std::string host) {
+    faults_ = faults;
+    fault_host_ = std::move(host);
+  }
+
+  // Consulted by the kernel's file-I/O syscalls before touching `inode`:
+  // remote (NFS) inodes may draw an injected EIO; local writes inside a
+  // configured disk-full window fail with ENOSPC. OkStatus when no injector
+  // is installed or nothing fires.
+  Status InjectedIoFault(const Inode& inode, bool write) const;
 
   // Grafts `remote_root` over the directory inode `mount_point`: any walk reaching
   // the mount point continues at the remote root.
@@ -136,6 +151,9 @@ class Vfs {
                            uint16_t mode = 0644);
   // Creates a symlink at `path` pointing to `target`.
   InodePtr SetupSymlink(std::string_view path, std::string_view target);
+  // Removes the directory entry for an absolute path if it exists (no cost
+  // accounting; for cleanup in kernel dump-abort paths and tests).
+  void SetupUnlink(std::string_view path);
 
  private:
   Result<Resolved> WalkComponents(WalkState state, std::deque<std::string> pending,
@@ -144,6 +162,8 @@ class Vfs {
   Filesystem* local_;
   const sim::CostModel* costs_;
   sim::MetricsRegistry* metrics_ = nullptr;
+  sim::FaultInjector* faults_ = nullptr;
+  std::string fault_host_;
   std::map<const Inode*, InodePtr> mounts_;
   std::function<bool(const Filesystem*)> unreachable_;
 };
