@@ -27,10 +27,13 @@ using testbed::kUserUid;
 using testbed::Testbed;
 using testbed::TestbedOptions;
 
-// One measured operation, in virtual time.
+// One measured operation, in virtual time. bytes_moved is the disk+network
+// payload traffic during the measured window (filled only by scenarios that run
+// with metrics on; it is observation-only and never affects the virtual times).
 struct Measurement {
   double cpu_ms = 0;
   double real_ms = 0;
+  int64_t bytes_moved = 0;
 };
 
 struct Row {
@@ -82,6 +85,39 @@ inline void WriteBenchRow(const std::string& figure, const std::string& name,
                 sim::JsonEscape(figure).c_str(), sim::JsonEscape(name).c_str(), m.cpu_ms,
                 m.real_ms, cpu_norm, real_norm, sim::JsonEscape(paper_note).c_str());
   WriteReportLine(buf);
+}
+
+// Bytes the scenario put on disk or on the wire, summed across every host:
+// all writes plus NFS reads (local reads just revisit data already in place).
+// Zero unless the testbed was built with metrics on. Subtract a snapshot taken
+// at the start of the measured window to get bytes moved by the scenario.
+inline int64_t TotalBytesMoved(Testbed& world) {
+  int64_t total = 0;
+  for (const auto& host : world.cluster().hosts()) {
+    const sim::MetricsRegistry& m = host->metrics();
+    total += m.Counter("vfs.bytes_written") + m.Counter("vfs.nfs_bytes_written") +
+             m.Counter("vfs.nfs_bytes_read");
+  }
+  return total;
+}
+
+// Writes the standardized BENCH_<name>.json next to the binary: one object per
+// row with the virtual-time totals and bytes moved. Silent (no stdout), so the
+// printed figure tables stay bit-identical to earlier runs.
+inline void WriteBenchJson(const std::string& bench, const std::vector<Row>& rows) {
+  std::ofstream out("BENCH_" + bench + ".json");
+  if (!out) return;
+  out << "{\"bench\":\"" << sim::JsonEscape(bench) << "\",\"rows\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    char buf[384];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"case\":\"%s\",\"vcpu_ms\":%.4f,\"vreal_ms\":%.4f,"
+                  "\"bytes_moved\":%lld}",
+                  i == 0 ? "" : ",", sim::JsonEscape(rows[i].name).c_str(), rows[i].m.cpu_ms,
+                  rows[i].m.real_ms, static_cast<long long>(rows[i].m.bytes_moved));
+    out << buf;
+  }
+  out << "]}\n";
 }
 
 // Prints a figure table normalised against rows[baseline]; with --report also

@@ -17,6 +17,7 @@ Measurement MeasureKill(KillMode mode) {
   TestbedOptions options;
   options.num_hosts = 2;
   options.file_server_home = true;
+  options.metrics = true;  // for bytes_moved; observation-only, times unchanged
   Testbed world(options);
   InstallPaddedCounter(world);
   kernel::Kernel& k = world.host("brick");
@@ -24,6 +25,7 @@ Measurement MeasureKill(KillMode mode) {
   const int32_t pid = StartBlockedCounter(world, "brick");
   const sim::Nanos cpu0 = world.cluster().TotalCpu();
   const sim::Nanos t0 = world.cluster().clock().now();
+  const int64_t bytes0 = TotalBytesMoved(world);
 
   int32_t tool_pid = -1;
   switch (mode) {
@@ -50,6 +52,7 @@ Measurement MeasureKill(KillMode mode) {
   Measurement m;
   m.cpu_ms = sim::ToMillis(world.cluster().TotalCpu() - cpu0);
   m.real_ms = sim::ToMillis(world.cluster().clock().now() - t0);
+  m.bytes_moved = TotalBytesMoved(world) - bytes0;
   return m;
 }
 
@@ -62,13 +65,13 @@ int main(int argc, char** argv) {
   const Measurement quit = MeasureKill(KillMode::kSigQuit);
   const Measurement dump = MeasureKill(KillMode::kSigDump);
   const Measurement tool = MeasureKill(KillMode::kDumpproc);
-  PrintFigure("Figure 2: killing the test program (normalised to SIGQUIT)",
-              {
-                  {"SIGQUIT (core dump)", quit, "1.0 / 1.0"},
-                  {"SIGDUMP (migration dump)", dump, "~3x cpu, ~3x real"},
-                  {"dumpproc application", tool, "~4x cpu, ~6x real"},
-              },
-              0);
+  const std::vector<Row> rows = {
+      {"SIGQUIT (core dump)", quit, "1.0 / 1.0"},
+      {"SIGDUMP (migration dump)", dump, "~3x cpu, ~3x real"},
+      {"dumpproc application", tool, "~4x cpu, ~6x real"},
+  };
+  PrintFigure("Figure 2: killing the test program (normalised to SIGQUIT)", rows, 0);
+  WriteBenchJson("fig2", rows);
 
   RegisterSim("fig2/sigquit", [] { return MeasureKill(KillMode::kSigQuit); });
   RegisterSim("fig2/sigdump", [] { return MeasureKill(KillMode::kSigDump); });

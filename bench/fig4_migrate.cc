@@ -32,6 +32,7 @@ Testbed MakeWorld() {
   TestbedOptions options;
   options.num_hosts = 3;  // brick (home), schooner, brador (also file server)
   options.file_server_home = true;
+  options.metrics = true;  // for bytes_moved; observation-only, times unchanged
   return Testbed(options);
 }
 
@@ -44,6 +45,7 @@ Measurement MeasureSeparate(const Placement& placement) {
 
   const sim::Nanos cpu0 = world.cluster().TotalCpu();
   const sim::Nanos t0 = world.cluster().clock().now();
+  const int64_t bytes0 = TotalBytesMoved(world);
   const int32_t dp = world.StartTool(placement.from, "dumpproc", {"-p", std::to_string(pid)});
   world.RunUntilExited(placement.from, dp);
   const int32_t rs = world.StartTool(
@@ -56,7 +58,8 @@ Measurement MeasureSeparate(const Placement& placement) {
            (p->kind == kernel::ProcKind::kVm && p->state == kernel::ProcState::kBlocked);
   });
   return Measurement{sim::ToMillis(world.cluster().TotalCpu() - cpu0),
-                     sim::ToMillis(world.cluster().clock().now() - t0)};
+                     sim::ToMillis(world.cluster().clock().now() - t0),
+                     TotalBytesMoved(world) - bytes0};
 }
 
 Measurement MeasureMigrate(const Placement& placement, bool use_daemon) {
@@ -64,6 +67,7 @@ Measurement MeasureMigrate(const Placement& placement, bool use_daemon) {
   options.num_hosts = 3;
   options.file_server_home = true;
   options.daemons = use_daemon;
+  options.metrics = true;  // for bytes_moved; observation-only, times unchanged
   Testbed world(options);
   InstallPaddedCounter(world);
   const int32_t pid = StartBlockedCounter(world, placement.from);
@@ -74,11 +78,13 @@ Measurement MeasureMigrate(const Placement& placement, bool use_daemon) {
 
   const sim::Nanos cpu0 = world.cluster().TotalCpu();
   const sim::Nanos t0 = world.cluster().clock().now();
+  const int64_t bytes0 = TotalBytesMoved(world);
   const int32_t mig = world.StartTool("brick", "migrate", args, kUserUid,
                                       world.console("brick"));
   world.RunUntilExited("brick", mig, sim::Seconds(600));
   return Measurement{sim::ToMillis(world.cluster().TotalCpu() - cpu0),
-                     sim::ToMillis(world.cluster().clock().now() - t0)};
+                     sim::ToMillis(world.cluster().clock().now() - t0),
+                     TotalBytesMoved(world) - bytes0};
 }
 
 }  // namespace
@@ -125,6 +131,7 @@ int main(int argc, char** argv) {
                     placement.paper_note});
   }
   PrintFigure("Figure 4: migrate vs separate dumpproc/restart (real time)", rows, 0);
+  WriteBenchJson("fig4", rows);
 
   std::printf("\n(remote cases pay rsh connection setup; see ablation_daemon_vs_rsh for\n"
               " the Section 6.4 daemon-based improvement)\n");

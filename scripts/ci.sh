@@ -1,0 +1,26 @@
+#!/bin/sh
+# The full verification pipeline, one command: tier-1 build + ctest, the ASan
+# build + ctest, and the fig4 phase-drift gate. Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+
+echo "== tier-1 ctest =="
+(cd build && ctest --output-on-failure -j)
+
+echo "== ASan build =="
+cmake -B build-asan -S . -DPMIG_SANITIZE=address >/dev/null
+cmake --build build-asan -j
+
+echo "== ASan ctest =="
+(cd build-asan && ctest --output-on-failure -j)
+
+echo "== phase-drift gate =="
+./build/bench/check_phases --fig4 ./build/bench/fig4_migrate \
+    --baseline bench/phase_baseline.txt
+
+echo "ci: all green"

@@ -8,9 +8,14 @@
 // after the checkpoint, the copies can be used instead..."
 //
 // A checkpoint directory looks like:
-//   <dir>/<n>.meta    — manifest: original pid, dump host, saved-file map
+//   <dir>/<n>.meta    — manifest: original pid, per-slot saved-file records
+//                       (content hash + which checkpoint actually holds the copy)
 //   <dir>/<n>.aout / <n>.files / <n>.stack — the three dump files
-//   <dir>/<n>.open<i> — copy of the contents of open-file slot i
+//   <dir>/<n>.open<i> — copy of the contents of open-file slot i (only when its
+//                       content hash differs from checkpoint n−1's copy; otherwise
+//                       the manifest records a reuse of the earlier copy)
+//   <dir>/seg.<hex>   — content-addressed segment blobs referenced by incremental
+//                       dumps, so the directory is self-contained
 //
 // Because a SIGDUMP snapshot kills the process, TakeCheckpoint immediately
 // restarts it on the same machine; the process continues under a new pid.
@@ -30,9 +35,14 @@ struct CheckpointResult {
 };
 
 // Snapshots `pid` (which must run on the caller's machine) into <dir>/<index>.*
-// and restarts it locally. The caller must own the process or be root.
+// and restarts it locally. The caller must own the process or be root. With
+// `incremental`, the dump is a delta against the exec-time image (dirty pages
+// only) and the referenced segment blobs are archived into <dir>/seg.<hex>.
+// Open-file copies whose content hash matches checkpoint index−1's copy are not
+// rewritten; the manifest records the reuse.
 Result<CheckpointResult> TakeCheckpoint(kernel::SyscallApi& api, int32_t pid,
-                                        const std::string& dir, int index);
+                                        const std::string& dir, int index,
+                                        bool incremental = false);
 
 // Restores checkpoint <dir>/<index>.*: puts the saved open-file copies back at
 // their recorded paths, re-stages the dump files, and restarts the process on this
@@ -46,6 +56,7 @@ struct CheckpointdOptions {
   std::string dir = "/ckpt";
   sim::Nanos interval = sim::Seconds(30);
   int count = 3;
+  bool incremental = false;  // delta dumps + shared segment blobs
 };
 int CheckpointDaemon(kernel::SyscallApi& api, const CheckpointdOptions& options);
 

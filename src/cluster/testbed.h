@@ -25,6 +25,9 @@ struct TestbedOptions {
   bool trace = false;
   bool metrics = false;  // per-host MetricsRegistry instances
   bool spans = false;    // migration phase spans
+  // Incremental data path: arm dirty-page tracking at exec so dumpproc
+  // --incremental / migrate --cached can emit delta dumps.
+  bool dirty_tracking = false;
   // The paper's site convention (Section 3 footnote): user home directories live
   // on a file server; /u/user on every machine is a symbolic link to
   // /n/<server>/u2/user. The *last* host acts as the server (with one host the
@@ -60,6 +63,7 @@ class Testbed {
     config.costs = options.costs;
     config.kernel.track_names = options.track_names;
     config.kernel.virtualize_identity = options.virtualize_identity;
+    config.kernel.track_dirty_pages = options.dirty_tracking;
     config.start_migration_daemons = options.daemons;
     config.enable_trace = options.trace;
     config.enable_metrics = options.metrics;

@@ -1,6 +1,9 @@
 #include "src/core/dump_format.h"
 
+#include <algorithm>
+
 #include "src/sim/bytes.h"
+#include "src/sim/hash.h"
 #include "src/vm/aout.h"
 
 namespace pmig::core {
@@ -98,6 +101,135 @@ Result<StackFile> StackFile::Parse(const std::string& bytes) {
   return s;
 }
 
+std::string SegCachePath(uint64_t digest, const std::string& nfs_prefix) {
+  return nfs_prefix + kSegCacheDir + "/" + sim::HexDigest(digest);
+}
+
+int64_t IncrAout::FullEquivalentBytes() const {
+  const uint32_t data_size =
+      encoding == DataEncoding::kFull ? static_cast<uint32_t>(full_data.size()) : full_size;
+  return static_cast<int64_t>(vm::kAoutHeaderBytes) + text_size + data_size;
+}
+
+std::string IncrAout::Serialize() const {
+  sim::ByteWriter w;
+  w.U32(kIncrAoutMagic);
+  w.U32(kIncrAoutVersion);
+  w.U32(machtype);
+  w.U32(entry);
+  w.U64(text_digest);
+  w.U32(text_size);
+  w.U8(static_cast<uint8_t>(encoding));
+  if (encoding == DataEncoding::kFull) {
+    w.Blob(full_data);
+  } else {
+    w.U64(base_digest);
+    w.U64(result_digest);
+    w.U32(full_size);
+    w.U32(static_cast<uint32_t>(pages.size()));
+    for (const DeltaPage& page : pages) {
+      w.U32(page.index);
+      w.Blob(page.bytes);
+    }
+  }
+  return w.Take();
+}
+
+Result<IncrAout> IncrAout::Parse(const std::string& bytes) {
+  sim::ByteReader r(bytes);
+  if (r.U32() != kIncrAoutMagic) return Errno::kNoExec;
+  if (r.U32() != kIncrAoutVersion) return Errno::kNoExec;
+  IncrAout a;
+  a.machtype = r.U32();
+  a.entry = r.U32();
+  a.text_digest = r.U64();
+  a.text_size = r.U32();
+  const uint8_t enc = r.U8();
+  if (enc > static_cast<uint8_t>(DataEncoding::kDelta)) return Errno::kNoExec;
+  a.encoding = static_cast<DataEncoding>(enc);
+  if (a.encoding == DataEncoding::kFull) {
+    a.full_data = r.Blob();
+  } else {
+    a.base_digest = r.U64();
+    a.result_digest = r.U64();
+    a.full_size = r.U32();
+    const uint32_t npages = r.U32();
+    if (!r.ok()) return Errno::kNoExec;
+    a.pages.resize(npages);
+    for (DeltaPage& page : a.pages) {
+      page.index = r.U32();
+      page.bytes = r.Blob();
+    }
+  }
+  if (!r.ok() || !r.AtEnd()) return Errno::kNoExec;
+  return a;
+}
+
+bool IsIncrAout(std::string_view bytes) {
+  sim::ByteReader r(bytes);
+  return r.U32() == kIncrAoutMagic && r.ok();
+}
+
+IncrAout BuildIncrAout(const vm::VmContext& ctx, uint32_t machtype) {
+  const vm::DirtyTracking& dirty = ctx.dirty;
+  IncrAout a;
+  a.machtype = machtype;
+  a.entry = 0;
+  a.text_digest = dirty.text_digest;
+  a.text_size = static_cast<uint32_t>(ctx.text.size());
+  a.encoding = IncrAout::DataEncoding::kDelta;
+  a.base_digest = dirty.base_digest;
+  a.result_digest = sim::HashBytes(ctx.data);
+  a.full_size = static_cast<uint32_t>(ctx.data.size());
+  for (uint32_t page = 0; page < dirty.data_dirty.size(); ++page) {
+    if (!dirty.data_dirty[page]) continue;
+    const uint32_t start = page * vm::kDirtyPageBytes;
+    const uint32_t end = std::min(start + vm::kDirtyPageBytes,
+                                  static_cast<uint32_t>(ctx.data.size()));
+    a.pages.push_back({page, {ctx.data.begin() + start, ctx.data.begin() + end}});
+  }
+  return a;
+}
+
+Result<ReconstructedImage> ReconstructIncrAout(const IncrAout& incr,
+                                               std::vector<uint8_t> text,
+                                               std::vector<uint8_t> base) {
+  if (text.size() != incr.text_size) return Errno::kNoExec;
+  if (sim::HashBytes(text) != incr.text_digest) return Errno::kNoExec;
+
+  ReconstructedImage out;
+  out.image.text = std::move(text);
+  if (incr.encoding == IncrAout::DataEncoding::kFull) {
+    out.image.data = incr.full_data;
+  } else {
+    if (base.size() != incr.full_size) return Errno::kNoExec;
+    if (sim::HashBytes(base) != incr.base_digest) return Errno::kNoExec;
+    std::vector<uint8_t> data = base;
+    for (const IncrAout::DeltaPage& page : incr.pages) {
+      const uint64_t start = uint64_t{page.index} * vm::kDirtyPageBytes;
+      if (start + page.bytes.size() > data.size() ||
+          page.bytes.size() > vm::kDirtyPageBytes) {
+        return Errno::kNoExec;
+      }
+      std::copy(page.bytes.begin(), page.bytes.end(),
+                data.begin() + static_cast<ptrdiff_t>(start));
+      out.delta_pages.push_back(page.index);
+    }
+    // Final check: the patched segment must hash to what the dumper recorded, so
+    // a stale cache entry or a digest collision can never restore wrong bytes.
+    if (sim::HashBytes(data) != incr.result_digest) return Errno::kNoExec;
+    out.image.data = std::move(data);
+    out.was_delta = true;
+    out.base = std::move(base);
+  }
+  out.image.header.magic = vm::kAoutMagic;
+  out.image.header.machtype = incr.machtype;
+  out.image.header.text_size = static_cast<uint32_t>(out.image.text.size());
+  out.image.header.data_size = static_cast<uint32_t>(out.image.data.size());
+  out.image.header.entry = incr.entry;
+  return out;
+}
+
 DumpPaths DumpPaths::For(int32_t pid, const std::string& dir) {
   DumpPaths p;
   const std::string suffix = std::to_string(pid);
@@ -113,9 +245,18 @@ bool VerifyDumpBytes(const std::vector<std::pair<std::string, std::string>>& fil
   for (const auto& [path, bytes] : files) {
     const size_t slash = path.rfind('/');
     const std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
-    if (base.rfind("a.out", 0) == 0) {
-      const std::vector<uint8_t> raw(bytes.begin(), bytes.end());
-      if (!vm::AoutImage::Parse(raw).ok()) return false;
+    if (path.rfind(std::string(kSegCacheDir) + "/", 0) == 0) {
+      // A segment-cache blob must hash to the digest it is named by.
+      uint64_t digest = 0;
+      if (!sim::ParseHexDigest(base, &digest)) return false;
+      if (sim::HashBytes(bytes) != digest) return false;
+    } else if (base.rfind("a.out", 0) == 0) {
+      if (IsIncrAout(bytes)) {
+        if (!IncrAout::Parse(bytes).ok()) return false;
+      } else {
+        const std::vector<uint8_t> raw(bytes.begin(), bytes.end());
+        if (!vm::AoutImage::Parse(raw).ok()) return false;
+      }
     } else if (base.rfind("files", 0) == 0) {
       if (!FilesFile::Parse(bytes).ok()) return false;
     } else if (base.rfind("stack", 0) == 0) {

@@ -77,8 +77,80 @@ struct DumpPaths {
   static DumpPaths For(int32_t pid, const std::string& dir = "/usr/tmp");
 };
 
+// --- Incremental dumps (the opt-in delta data path) ---------------------------
+//
+// An incremental a.outXXXXX never carries text: text is immutable, so it is
+// referenced by content digest and resolved from a per-host segment cache
+// (/var/segcache/<16-hex-digest>). Data is either a full blob (first dump of a
+// process whose base is not worth referencing) or a delta: a base digest plus
+// the dirty 1 KB pages. Reconstruction is strictly validated — any digest or
+// size mismatch is an Errno, never a silently wrong restore.
+
+constexpr uint32_t kIncrAoutMagic = 0446;  // next octal after files' 0445
+constexpr uint32_t kIncrAoutVersion = 1;
+
+// The per-host content-addressed segment cache directory.
+inline constexpr char kSegCacheDir[] = "/var/segcache";
+
+// "/var/segcache/<16-hex>" on the local host, or prefixed for an NFS reach.
+std::string SegCachePath(uint64_t digest, const std::string& nfs_prefix = "");
+
+struct IncrAout {
+  uint32_t machtype = 0;
+  uint32_t entry = 0;
+
+  uint64_t text_digest = 0;
+  uint32_t text_size = 0;
+
+  // Data segment: full bytes, or a delta against a cached base.
+  enum class DataEncoding : uint8_t { kFull = 0, kDelta = 1 };
+  DataEncoding encoding = DataEncoding::kFull;
+  std::vector<uint8_t> full_data;  // kFull only
+
+  // kDelta only.
+  uint64_t base_digest = 0;
+  uint64_t result_digest = 0;  // digest of the reconstructed data segment
+  uint32_t full_size = 0;      // size of base and of the result
+  struct DeltaPage {
+    uint32_t index = 0;  // page number (vm::kDirtyPageBytes granules)
+    std::vector<uint8_t> bytes;
+  };
+  std::vector<DeltaPage> pages;
+
+  // Bytes a full a.out of the same image would have occupied (for bytes_saved).
+  int64_t FullEquivalentBytes() const;
+
+  std::string Serialize() const;
+  static Result<IncrAout> Parse(const std::string& bytes);
+};
+
+// True when `bytes` begins with kIncrAoutMagic (cheap dispatch for restart).
+bool IsIncrAout(std::string_view bytes);
+
+// Builds the incremental a.out for an armed VM context: text by digest, data as
+// a delta of the dirty pages against the armed base.
+IncrAout BuildIncrAout(const vm::VmContext& ctx, uint32_t machtype);
+
+// The materialised image plus what rest_proc needs to re-arm tracking on the
+// restored process (so its *next* dump stays a delta against the same base).
+struct ReconstructedImage {
+  vm::AoutImage image;
+  bool was_delta = false;
+  std::vector<uint8_t> base;          // kDelta: the base data segment
+  std::vector<uint32_t> delta_pages;  // kDelta: pages that differ from base
+};
+
+// Reconstructs the full image from an incremental dump plus the cached
+// segments. `text` must hash to incr.text_digest; for kDelta dumps `base` must
+// hash to incr.base_digest and the patched result to incr.result_digest.
+// Errno::kNoExec on any mismatch.
+Result<ReconstructedImage> ReconstructIncrAout(const IncrAout& incr,
+                                               std::vector<uint8_t> text,
+                                               std::vector<uint8_t> base);
+
 // True when `bytes` parses as the dump file its basename prefix announces
-// ("a.out" -> vm::AoutImage, "files" -> FilesFile, "stack" -> StackFile).
+// ("a.out" -> vm::AoutImage or IncrAout, "files" -> FilesFile, "stack" ->
+// StackFile; files under /var/segcache must hash to their basename digest).
 // Installed as MigrationHooks::verify_dump so a dump whose files would not
 // parse back — e.g. corrupted by an injected fault — is aborted and unlinked
 // instead of killing the process it can no longer represent.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/dump_format.h"
+#include "src/sim/hash.h"
 #include "src/vfs/path.h"
 #include "src/vm/aout.h"
 
@@ -45,6 +46,83 @@ Result<std::string> ReadAoutDemandPaged(kernel::Kernel& k, kernel::Proc& p,
   return bytes;
 }
 
+// "/n/<host>" when `path` reaches through the NFS namespace, else "".
+std::string NfsPrefixOf(const std::string& path) {
+  if (path.rfind("/n/", 0) != 0) return "";
+  const size_t slash = path.find('/', 3);
+  return slash == std::string::npos ? path : path.substr(0, slash);
+}
+
+// Resolves a content-addressed segment: local cache first (demand-paged, like
+// any local executable), then the dump host's cache over NFS (full transfer,
+// write-through into the local cache). `kind` is "text" or "data" for the
+// hit/miss counters; `nfs_prefix` is where the dump came from.
+Result<std::vector<uint8_t>> FetchSegment(kernel::Kernel& k, kernel::Proc& p,
+                                          uint64_t digest, uint32_t expected_size,
+                                          const std::string& nfs_prefix,
+                                          const char* kind) {
+  kernel::SyscallApi* sink = k.ApiFor(p.pid);
+  const sim::CostModel& costs = k.costs();
+  sim::MetricsRegistry& metrics = k.metrics();
+  const std::string hit_name = std::string("cache.") + kind + ".hits";
+  const std::string miss_name = std::string("cache.") + kind + ".misses";
+
+  // 1. The local cache. A valid entry is mapped like an executable: only the
+  // first pages are charged synchronously (the full-dump path reads its whole
+  // a.out the same demand-paged way).
+  const std::string local_path = SegCachePath(digest);
+  auto local = k.vfs().Resolve(k.vfs().RootState(), local_path, vfs::Follow::kAll, nullptr);
+  if (local.ok() && local->inode->IsRegular()) {
+    std::string bytes;
+    k.vfs().ReadAt(*local->inode, 0, local->inode->size(), &bytes, nullptr);
+    if (bytes.size() == expected_size && sim::HashBytes(bytes) == digest) {
+      if (sink != nullptr) {
+        const int64_t prefetch = std::min<int64_t>(
+            static_cast<int64_t>(bytes.size()), costs.exec_prefetch_bytes);
+        const auto io = costs.DiskIo(prefetch);
+        sink->ChargeCpu(io.cpu);
+        sink->ChargeWait(io.wait + costs.inode_fetch);
+      }
+      metrics.Inc(hit_name);
+      return std::vector<uint8_t>(bytes.begin(), bytes.end());
+    }
+    // A blob that no longer hashes to its name is useless: drop it and refetch.
+    k.vfs().SetupUnlink(local_path);
+    metrics.Inc("cache.seg.corrupt");
+  }
+  metrics.Inc(miss_name);
+
+  // 2. The dump host's cache over NFS. The whole blob crosses the wire (it must
+  // be complete to validate and to populate the local cache).
+  if (nfs_prefix.empty()) return Errno::kNoEnt;
+  const std::string remote_path = SegCachePath(digest, nfs_prefix);
+  PMIG_TRY(vfs::Vfs::Resolved remote,
+           k.vfs().Resolve(p.cwd, remote_path, vfs::Follow::kAll, sink));
+  if (!remote.inode->IsRegular()) return Errno::kNoEnt;
+  if (!vfs::CheckAccess(*remote.inode, p.creds.euid, vfs::kWantRead)) return Errno::kAcces;
+  PMIG_RETURN_IF_ERROR(k.vfs().InjectedIoFault(*remote.inode, /*write=*/false));
+  std::string bytes;
+  k.vfs().ReadAt(*remote.inode, 0, remote.inode->size(), &bytes, sink);
+  if (bytes.size() != expected_size || sim::HashBytes(bytes) != digest) {
+    return Errno::kNoExec;  // corrupted in the source cache: refuse, never guess
+  }
+
+  // 3. Write-through so the *next* restore of this segment hits locally. Pays
+  // the full local disk cost; skipped (non-fatally) when the disk-full fault
+  // window is open — the cache is an optimisation, not a correctness need.
+  if (k.faults() != nullptr && k.faults()->DiskFull(k.hostname(), &metrics)) {
+    metrics.Inc("cache.writethrough_failed");
+  } else {
+    k.vfs().SetupCreateFile(local_path, bytes, 0, 0644);
+    if (sink != nullptr) {
+      const auto io = costs.DiskIo(static_cast<int64_t>(bytes.size()));
+      sink->ChargeCpu(io.cpu);
+      sink->ChargeWait(io.wait);
+    }
+  }
+  return std::vector<uint8_t>(bytes.begin(), bytes.end());
+}
+
 }  // namespace
 
 Status RestProcImpl(kernel::Kernel& k, kernel::Proc& p, const std::string& aout_path,
@@ -55,10 +133,31 @@ Status RestProcImpl(kernel::Kernel& k, kernel::Proc& p, const std::string& aout_
   if (stack.stack.size() > vm::kStackMax) return Errno::kNoExec;
 
   // 2. The executable (validated before we touch the caller's image). Loaded via
-  // the modified execve(), i.e. demand-paged.
+  // the modified execve(), i.e. demand-paged. An incremental dump references its
+  // segments by digest; they are resolved from the local cache or the dump
+  // host's cache, and the reconstruction is digest-checked end to end.
   PMIG_TRY(std::string aout_bytes, ReadAoutDemandPaged(k, p, aout_path));
-  PMIG_TRY(vm::AoutImage image,
-           vm::AoutImage::Parse(std::vector<uint8_t>(aout_bytes.begin(), aout_bytes.end())));
+  vm::AoutImage image;
+  ReconstructedImage recon;
+  bool was_incremental = false;
+  if (IsIncrAout(aout_bytes)) {
+    PMIG_TRY(IncrAout incr, IncrAout::Parse(aout_bytes));
+    const std::string nfs_prefix = NfsPrefixOf(aout_path);
+    PMIG_TRY(std::vector<uint8_t> text,
+             FetchSegment(k, p, incr.text_digest, incr.text_size, nfs_prefix, "text"));
+    std::vector<uint8_t> base;
+    if (incr.encoding == IncrAout::DataEncoding::kDelta) {
+      PMIG_TRY(base,
+               FetchSegment(k, p, incr.base_digest, incr.full_size, nfs_prefix, "data"));
+    }
+    PMIG_TRY(recon, ReconstructIncrAout(incr, std::move(text), std::move(base)));
+    image = std::move(recon.image);
+    was_incremental = true;
+  } else {
+    PMIG_TRY(vm::AoutImage full,
+             vm::AoutImage::Parse(std::vector<uint8_t>(aout_bytes.begin(), aout_bytes.end())));
+    image = std::move(full);
+  }
 
   // 3. Set the global flag indicating process migration and the stack-size
   // variable, then 4. call execve() with a null environment. ("As the environment
@@ -91,6 +190,14 @@ Status RestProcImpl(kernel::Kernel& k, kernel::Proc& p, const std::string& aout_
   // 8. Read in the information on the disposition of signals.
   p.sig_dispositions = stack.sig_dispositions;
   p.sig_pending = stack.sig_pending;
+
+  // Keep the delta base stable across migrations: re-arm tracking against the
+  // *original* base (already in every involved host's cache) with the restored
+  // pages pre-marked dirty, so the next dump is again a cumulative delta and
+  // never has to ship a new full-size base blob.
+  if (was_incremental && recon.was_delta && p.vm->dirty.armed) {
+    p.vm->ArmDirtyTrackingWithBase(std::move(recon.base), recon.delta_pages);
+  }
 
   // 9. At this point, the process running is a copy of the old process.
   p.migrated = true;

@@ -15,6 +15,9 @@ void InstallMigration(cluster::Cluster& cluster) {
   hooks.verify_dump = VerifyDumpBytes;
   for (const auto& host : cluster.hosts()) {
     host->set_migration_hooks(hooks);
+    // The content-addressed segment cache lives on every host, like /usr/tmp;
+    // it stays empty unless incremental dumps are used.
+    host->vfs().SetupMkdirAll(kSegCacheDir)->mode = 0777;
   }
 
   cluster.RegisterProgram("dumpproc", DumpprocMain);

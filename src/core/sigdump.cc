@@ -12,16 +12,44 @@ Result<kernel::PreparedDump> BuildSigdump(kernel::Kernel& k, kernel::Proc& p) {
     return Errno::kInval;
   }
   const vm::VmContext& ctx = *p.vm;
-
-  // --- a.outXXXXX: text + data behind an ordinary exec header. Running it from
-  // scratch is the `undump` behaviour: fresh start, dumped statics.
-  vm::AoutImage image;
-  image.text = ctx.text;
-  image.data = ctx.data;
-  image.header.entry = 0;  // entry is only used when executed as a fresh program
-  image.header.machtype =
+  const uint32_t machtype =
       vm::RequiredLevel(ctx.text.data(), ctx.text.size()) == vm::IsaLevel::kIsa20 ? 20 : 10;
-  const std::vector<uint8_t> aout_bytes = image.Serialize();
+
+  // --- a.outXXXXX. Full dump: text + data behind an ordinary exec header
+  // (running it from scratch is the `undump` behaviour: fresh start, dumped
+  // statics). Incremental dump (setdumpmode): text by content digest, data as
+  // dirty pages against the exec-time base; the cache blobs the restore side
+  // will need are written alongside if this host does not have them yet.
+  const bool incremental = p.dump_incremental && ctx.dirty.armed;
+  std::string aout_bytes;
+  std::vector<std::pair<std::string, std::string>> cache_blobs;
+  int64_t full_equivalent = 0;
+  if (incremental) {
+    const IncrAout incr = BuildIncrAout(ctx, machtype);
+    aout_bytes = incr.Serialize();
+    full_equivalent = incr.FullEquivalentBytes();
+    const std::pair<uint64_t, const std::vector<uint8_t>*> segments[] = {
+        {incr.text_digest, &ctx.text}, {incr.base_digest, &ctx.dirty.base}};
+    for (const auto& [digest, bytes] : segments) {
+      const std::string path = SegCachePath(digest);
+      if (k.vfs().Resolve(k.vfs().RootState(), path, vfs::Follow::kAll, nullptr).ok()) {
+        k.metrics().Inc("cache.seg.dump_hits");
+        continue;  // the blob is already on this host's disk: nothing to ship
+      }
+      k.metrics().Inc("cache.seg.dump_misses");
+      cache_blobs.emplace_back(path, std::string(bytes->begin(), bytes->end()));
+    }
+    k.metrics().Set("vm.dirty_pages.data", ctx.dirty.CountDataDirty());
+    k.metrics().Set("vm.dirty_pages.stack", ctx.dirty.CountStackDirty());
+  } else {
+    vm::AoutImage image;
+    image.text = ctx.text;
+    image.data = ctx.data;
+    image.header.entry = 0;  // entry is only used when executed as a fresh program
+    image.header.machtype = machtype;
+    const std::vector<uint8_t> raw = image.Serialize();
+    aout_bytes.assign(raw.begin(), raw.end());
+  }
 
   // --- filesXXXXX: user-level restart information.
   FilesFile files;
@@ -65,13 +93,14 @@ Result<kernel::PreparedDump> BuildSigdump(kernel::Kernel& k, kernel::Proc& p) {
 
   const DumpPaths paths = DumpPaths::For(p.pid);
   kernel::PreparedDump dump;
-  dump.files.emplace_back(paths.aout,
-                          std::string(aout_bytes.begin(), aout_bytes.end()));
+  dump.files.emplace_back(paths.aout, std::move(aout_bytes));
   dump.files.emplace_back(paths.files, files_bytes);
   dump.files.emplace_back(paths.stack, stack_bytes);
+  for (auto& blob : cache_blobs) dump.files.push_back(std::move(blob));
 
-  // Cost: like the SIGQUIT core-dump path but for three files — assemble the
-  // bytes, create three directory entries under /usr/tmp, push the blocks out.
+  // Cost: like the SIGQUIT core-dump path but for each written file — assemble
+  // the bytes, create a directory entry, push the blocks out. An incremental
+  // dump's savings appear here as fewer bytes through DiskIo, nowhere else.
   const sim::CostModel& costs = k.costs();
   int64_t total_bytes = 0;
   for (const auto& [path, contents] : dump.files) {
@@ -81,6 +110,16 @@ Result<kernel::PreparedDump> BuildSigdump(kernel::Kernel& k, kernel::Proc& p) {
   const auto io = costs.DiskIo(total_bytes);
   dump.cpu += io.cpu;
   dump.wait = io.wait;
+  if (incremental) {
+    // What a full dump of the same image would have written, minus what this
+    // one actually writes (cache blobs included) — observation only.
+    const int64_t full_total = full_equivalent +
+                               static_cast<int64_t>(files_bytes.size()) +
+                               static_cast<int64_t>(stack_bytes.size());
+    if (full_total > total_bytes) {
+      k.metrics().Inc("migration.bytes_saved", full_total - total_bytes);
+    }
+  }
   return dump;
 }
 

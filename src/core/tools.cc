@@ -154,7 +154,7 @@ MigrateOptions MigrateOptions::Robust() {
   return o;
 }
 
-int Dumpproc(kernel::SyscallApi& api, int32_t pid, bool tx) {
+int Dumpproc(kernel::SyscallApi& api, int32_t pid, bool tx, bool incremental) {
   // Signal phase: kill the process with SIGDUMP (kill() itself enforces that
   // only the superuser or the owner may do this), then poll for a.outXXXXX —
   // the dying process creates the dump files — sleeping one second after each
@@ -163,6 +163,16 @@ int Dumpproc(kernel::SyscallApi& api, int32_t pid, bool tx) {
   // retry-sleep slack.
   const DumpPaths paths = DumpPaths::For(pid);
   if (tx && FileExists(api, paths.ready)) return kToolOk;  // rerun after success
+  if (incremental) {
+    // Arm the delta dump. A kernel without dirty tracking (or a target that is
+    // not a VM process) refuses with ENOEXEC; proceed with a full dump — the
+    // incremental path is an optimisation, never a requirement.
+    const Status armed = api.SetDumpMode(pid, true);
+    if (!armed.ok() && armed.error() == Errno::kNoExec) {
+      Complain(api, "dumpproc: process " + std::to_string(pid) +
+                        " cannot dump incrementally; dumping in full");
+    }
+  }
   bool appeared = false;
   {
     sim::SpanScope signal_phase(api.kernel().spans(), "signal", api.kernel().hostname(),
@@ -264,9 +274,12 @@ int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host,
     const Result<std::string> head = api.Read(*fd, 4);
     const Status closed = api.Close(*fd);
     (void)closed;
-    if (!head.ok() || head->size() < 4 ||
-        (static_cast<uint8_t>((*head)[0]) | (static_cast<uint8_t>((*head)[1]) << 8)) !=
-            vm::kAoutMagic) {
+    const uint32_t magic =
+        !head.ok() || head->size() < 4
+            ? 0
+            : static_cast<uint32_t>(static_cast<uint8_t>((*head)[0]) |
+                                    (static_cast<uint8_t>((*head)[1]) << 8));
+    if (magic != vm::kAoutMagic && magic != kIncrAoutMagic) {
       Complain(api, "restart: bad executable magic in " + paths.aout);
       return 1;
     }
@@ -444,6 +457,7 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
 
   std::vector<std::string> dump_args = {"-p", pid_str};
   if (opts.transactional) dump_args.push_back("--tx");
+  if (opts.cached) dump_args.push_back("--incremental");
   Result<int> rc = Errno::kIo;
   {
     sim::SpanScope phase(spans, "dump", local, api.pid());
@@ -523,6 +537,12 @@ int Undump(kernel::SyscallApi& api, const std::string& aout_path,
   const Status ac = api.Close(*afd);
   (void)ac;
   if (!aout_bytes.ok()) return 1;
+  if (IsIncrAout(*aout_bytes)) {
+    // An incremental dump is not self-contained; only restart (which can reach
+    // the segment caches) can consume it.
+    Complain(api, "undump: " + aout_path + " is an incremental dump; use restart");
+    return 1;
+  }
   Result<vm::AoutImage> image =
       vm::AoutImage::Parse(std::vector<uint8_t>(aout_bytes->begin(), aout_bytes->end()));
   if (!image.ok()) {
@@ -602,6 +622,8 @@ struct ParsedArgs {
   bool tx = false;
   bool claim = false;
   bool robust = false;
+  bool incremental = false;
+  bool cached = false;
   std::vector<std::string> positional;
   bool ok = true;
 };
@@ -633,6 +655,10 @@ ParsedArgs ParseArgs(const std::vector<std::string>& args) {
       out.claim = true;
     } else if (a == "--robust") {
       out.robust = true;
+    } else if (a == "--incremental") {
+      out.incremental = true;
+    } else if (a == "--cached") {
+      out.cached = true;
     } else {
       out.positional.push_back(a);
     }
@@ -645,10 +671,10 @@ ParsedArgs ParseArgs(const std::vector<std::string>& args) {
 int DumpprocMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {
   const ParsedArgs parsed = ParseArgs(args);
   if (!parsed.ok || parsed.pid < 0) {
-    Complain(api, "usage: dumpproc -p pid [--tx]");
+    Complain(api, "usage: dumpproc -p pid [--tx] [--incremental]");
     return kToolUsage;
   }
-  return Dumpproc(api, parsed.pid, parsed.tx);
+  return Dumpproc(api, parsed.pid, parsed.tx, parsed.incremental);
 }
 
 int RestartMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {
@@ -664,11 +690,13 @@ int MigrateMain(kernel::SyscallApi& api, net::Network& net,
                 const std::vector<std::string>& args) {
   const ParsedArgs parsed = ParseArgs(args);
   if (!parsed.ok || parsed.pid < 0) {
-    Complain(api, "usage: migrate -p pid [-f host] [-t host] [--daemon] [--robust]");
+    Complain(api,
+             "usage: migrate -p pid [-f host] [-t host] [--daemon] [--robust] [--cached]");
     return kToolUsage;
   }
-  return Migrate(api, net, parsed.pid, parsed.f_host, parsed.t_host, parsed.daemon,
-                 parsed.robust ? MigrateOptions::Robust() : MigrateOptions{});
+  MigrateOptions opts = parsed.robust ? MigrateOptions::Robust() : MigrateOptions{};
+  opts.cached = parsed.cached;
+  return Migrate(api, net, parsed.pid, parsed.f_host, parsed.t_host, parsed.daemon, opts);
 }
 
 int UndumpMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {

@@ -45,6 +45,11 @@ struct MigrateOptions {
   sim::Nanos retry_backoff = 0;    // pause before the second try; doubles after
   sim::Nanos attempt_timeout = 0;  // per remote command; 0 = transport default
   bool transactional = false;      // dumpproc --tx / restart --claim / GC / fallback
+  // migrate --cached: dump incrementally (dumpproc --incremental), so text and
+  // the data base travel by content digest and hosts that have seen them serve
+  // them from /var/segcache instead of the wire. Needs a kernel booted with
+  // track_dirty_pages; degrades to a full dump otherwise.
+  bool cached = false;
   static MigrateOptions Robust();
 };
 
@@ -59,15 +64,18 @@ Result<std::string> Realpath(kernel::SyscallApi& api, const std::string& path);
 // was dumped on. Exposed for alternative migration transports (see precopy.h).
 void RewriteFilesForMigration(kernel::SyscallApi& api, FilesFile* files);
 
-// dumpproc -p <pid> [--tx]: SIGDUMPs the process, then rewrites filesXXXXX —
+// dumpproc -p <pid> [--tx] [--incremental]: SIGDUMPs the process, then rewrites
+// filesXXXXX —
 // resolving symlinks, turning terminals into /dev/tty, and prepending
 // /n/<thishost> to local paths so the files can be reopened from any machine.
 // Returns 0 on success; a mid-flight failure unlinks whatever partial dump
 // files exist so a half-written dump never survives. In --tx mode the command
 // is additionally idempotent (a rerun after the process already dumped resumes
 // the rewrite), reports a poll timeout as kToolTransient, and marks a complete
-// dump set with a readyXXXXX file.
-int Dumpproc(kernel::SyscallApi& api, int32_t pid, bool tx = false);
+// dump set with a readyXXXXX file. With `incremental`, setdumpmode() arms a
+// delta dump first (falling back to a full dump if the kernel cannot).
+int Dumpproc(kernel::SyscallApi& api, int32_t pid, bool tx = false,
+             bool incremental = false);
 
 // restart -p <pid> [-h <host>] [--claim]: restores a dumped process on this
 // machine, at this terminal. `dump_host` empty means the dump is local. Does

@@ -18,6 +18,10 @@ Kernel::Kernel(std::string hostname, sim::VirtualClock* clock, const sim::CostMo
   fs_ = std::make_unique<vfs::Filesystem>(hostname_);
   vfs_ = std::make_unique<vfs::Vfs>(fs_.get(), costs_);
   vfs_->set_metrics(&metrics_);
+  instructions_metric_ = metrics_.MakeCounter("kernel.instructions");
+  native_syscall_metric_ = metrics_.MakeCounter("kernel.syscall.native");
+  context_switch_metric_ = metrics_.MakeCounter("sched.context_switches");
+  runnable_vm_metric_ = metrics_.MakeCounter("sched.runnable_vm", /*gauge=*/true);
   null_device_ = std::make_unique<NullDevice>();
   BootFilesystem();
 }
@@ -351,7 +355,7 @@ bool Kernel::RunQuantum() {
     for (const auto& q : procs_) {
       if (q->kind == ProcKind::kVm && q->state == ProcState::kRunnable) ++runnable_vm;
     }
-    metrics_.Set("sched.runnable_vm", runnable_vm);
+    runnable_vm_metric_.Set(runnable_vm);
   }
   Proc* p = PickNext();
   if (p == nullptr) return false;
@@ -359,7 +363,7 @@ bool Kernel::RunQuantum() {
   quantum_left_ = costs_->quantum;
   if (p->pid != last_run_pid_) {
     ++stats_.context_switches;
-    metrics_.Inc("sched.context_switches");
+    context_switch_metric_.Inc();
     ChargeCpu(*p, costs_->context_switch);
   }
   last_run_pid_ = p->pid;
@@ -452,6 +456,8 @@ Status Kernel::OverlayVmImage(Proc& p, const vm::AoutImage& image,
   }
   if (p.vm == nullptr) p.vm = std::make_unique<vm::VmContext>();
   p.vm->LoadImage(image);
+  p.dump_incremental = false;  // a new image invalidates any pending delta mode
+  if (config_.track_dirty_pages) p.vm->ArmDirtyTracking();
   ChargeCpu(p, costs_->exec_overhead);
   ChargeCpu(p, static_cast<sim::Nanos>(image.text.size() + image.data.size()) *
                    costs_->buffer_copy_per_byte);

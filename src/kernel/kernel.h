@@ -57,6 +57,11 @@ struct KernelConfig {
   // migrated processes; getpid_real()/gethostname_real() report the truth.
   bool virtualize_identity = false;
 
+  // Incremental migration data path: arm page-granular dirty tracking on VM
+  // data/stack segments at exec time, so SIGDUMP can emit delta dumps against the
+  // loaded image. Off == the paper's kernel; dumps are always full images.
+  bool track_dirty_pages = false;
+
   // CPU of this machine (Sun-2 = kIsa10, Sun-3 = kIsa20).
   vm::IsaLevel isa = vm::IsaLevel::kIsa20;
 };
@@ -255,6 +260,10 @@ class Kernel {
   // 4.3BSD rename(): atomic within one machine, EXDEV across machines.
   Status SysRename(Proc& p, std::string_view oldpath, std::string_view newpath);
   Status SysKill(Proc& p, int32_t pid, int signo);
+  // Marks `pid`'s next SIGDUMP as incremental (delta against the segments loaded
+  // at exec). Same permission rule as kill(); ENOEXEC when the target's kernel
+  // was built without dirty tracking or the target is not a VM process.
+  Status SysSetDumpMode(Proc& p, int32_t pid, bool incremental);
   Status SysSetReUid(Proc& p, int32_t ruid, int32_t euid);
   Status SysSignal(Proc& p, int signo, SignalDisposition disposition);
   Result<uint16_t> SysTtyGet(Proc& p, int fd);
@@ -358,6 +367,12 @@ class Kernel {
   KernelStats stats_;
   KernelTimers timers_;
   sim::MetricsRegistry metrics_;
+  // Pre-resolved handles for per-quantum/per-instruction-batch paths; everything
+  // cooler keeps the dotted-name API.
+  sim::CounterHandle instructions_metric_;
+  sim::CounterHandle native_syscall_metric_;
+  sim::CounterHandle context_switch_metric_;
+  sim::CounterHandle runnable_vm_metric_;
   sim::SpanLog* spans_ = nullptr;
   sim::FaultInjector* faults_ = nullptr;
   MigrationHooks hooks_;
@@ -420,6 +435,9 @@ class SyscallApi : public vfs::CostSink {
   Status Rmdir(std::string_view path);
   Status Rename(std::string_view oldpath, std::string_view newpath);
   Status Kill(int32_t target_pid, int signo);
+  // setdumpmode(): arms (or disarms) incremental dumping for the target's next
+  // SIGDUMP. Owner-or-superuser, like kill().
+  Status SetDumpMode(int32_t target_pid, bool incremental);
   Status SetReUid(int32_t ruid, int32_t euid);
   int32_t GetPid();
   int32_t GetPpid();

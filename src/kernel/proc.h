@@ -128,6 +128,10 @@ struct Proc {
   int32_t old_pid = 0;
   std::string old_host;
 
+  // Set by setdumpmode(): the next SIGDUMP emits a delta dump (dirty pages against
+  // the exec-time image) instead of a full one. Cleared by execve().
+  bool dump_incremental = false;
+
   bool Alive() const { return state != ProcState::kZombie && state != ProcState::kDead; }
 
   int FreeFdSlot() const {

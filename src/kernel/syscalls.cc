@@ -469,6 +469,25 @@ Status Kernel::SysKill(Proc& p, int32_t pid, int signo) {
   return PostSignal(pid, signo, &p);
 }
 
+Status Kernel::SysSetDumpMode(Proc& p, int32_t pid, bool incremental) {
+  Proc* target = FindProc(pid);
+  if (target == nullptr || !target->Alive()) return Errno::kSrch;
+  // Same rule as kill(): only the superuser or the owner may change dump mode.
+  if (!p.creds.IsSuperuser() && p.creds.uid != target->creds.uid &&
+      p.creds.euid != target->creds.uid) {
+    return Errno::kPerm;
+  }
+  if (incremental) {
+    // An incremental dump needs the dirty bitmaps armed at exec time.
+    if (target->kind != ProcKind::kVm || target->vm == nullptr ||
+        !target->vm->dirty.armed) {
+      return Errno::kNoExec;
+    }
+  }
+  target->dump_incremental = incremental;
+  return Status::Ok();
+}
+
 Status Kernel::SysSetReUid(Proc& p, int32_t ruid, int32_t euid) {
   if (!p.creds.IsSuperuser()) {
     const bool ruid_ok = ruid == -1 || ruid == p.creds.uid || ruid == p.creds.euid;
@@ -666,7 +685,7 @@ void Kernel::RunVmProc(Proc& p) {
     const sim::Nanos used = cpu.steps_executed() * costs_->instruction;
     p.utime += used;
     quantum_left_ -= used;
-    metrics_.Inc("kernel.instructions", cpu.steps_executed());
+    instructions_metric_.Inc(cpu.steps_executed());
     if (reason == vm::StopReason::kSyscall) {
       ++stats_.syscalls;
       if (metrics_.enabled()) {
@@ -1092,7 +1111,7 @@ sim::Nanos SyscallApi::Now() const { return kernel_->clock().now(); }
 void SyscallApi::EnterSyscall() {
   Proc& p = proc();
   ++kernel_->stats_.syscalls;
-  kernel_->metrics_.Inc("kernel.syscall.native");
+  kernel_->native_syscall_metric_.Inc();
   kernel_->ChargeCpu(p, kernel_->costs_->syscall_entry);
   kernel_->ChargeUser(p, kernel_->costs_->native_user_work);
   YieldIfPreempted();
@@ -1309,6 +1328,13 @@ Status SyscallApi::Rename(std::string_view oldpath, std::string_view newpath) {
 Status SyscallApi::Kill(int32_t target_pid, int signo) {
   EnterSyscall();
   const Status st = kernel_->SysKill(proc(), target_pid, signo);
+  FinishSyscall();
+  return st;
+}
+
+Status SyscallApi::SetDumpMode(int32_t target_pid, bool incremental) {
+  EnterSyscall();
+  const Status st = kernel_->SysSetDumpMode(proc(), target_pid, incremental);
   FinishSyscall();
   return st;
 }

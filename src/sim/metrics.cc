@@ -81,6 +81,7 @@ void MetricsRegistry::Clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  ++generation_;  // outstanding handles re-resolve their slots on next use
 }
 
 std::string JsonEscape(std::string_view s) {

@@ -40,6 +40,9 @@ struct Histogram {
   Nanos Mean() const { return count > 0 ? sum / count : 0; }
 };
 
+class CounterHandle;
+class HistogramHandle;
+
 class MetricsRegistry {
  public:
   using CounterMap = std::map<std::string, int64_t, std::less<>>;
@@ -79,7 +82,17 @@ class MetricsRegistry {
 
   void Clear();
 
+  // Pre-resolved handles for hot paths (syscall entry, VFS copy loops): resolve
+  // the string-keyed map slot once and reuse the pointer on every subsequent
+  // record. Cheap to construct; safe to keep for the registry's lifetime (Clear()
+  // bumps a generation counter and the handle transparently re-resolves).
+  CounterHandle MakeCounter(std::string_view name, bool gauge = false);
+  HistogramHandle MakeHistogram(std::string_view name);
+
  private:
+  friend class CounterHandle;
+  friend class HistogramHandle;
+
   static int64_t& Slot(CounterMap& map, std::string_view name) {
     auto it = map.find(name);
     if (it == map.end()) it = map.emplace(std::string(name), 0).first;
@@ -87,10 +100,87 @@ class MetricsRegistry {
   }
 
   bool enabled_ = false;
+  uint64_t generation_ = 0;  // bumped by Clear(); invalidates handle slots
   CounterMap counters_;
   CounterMap gauges_;
   HistogramMap histograms_;
 };
+
+// A counter (or gauge) whose map slot is resolved once per registry generation.
+// While the registry is disabled, Inc/Set return after one branch and — unlike
+// the dotted-name API — never even touch the name string. The slot itself is
+// only materialised on the first enabled record, so a disabled run's report
+// carries no phantom zero-valued entries.
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+
+  void Inc(int64_t delta = 1) {
+    if (registry_ == nullptr || !registry_->enabled_) return;
+    if (slot_ == nullptr || generation_ != registry_->generation_) Rebind();
+    *slot_ += delta;
+  }
+  void Set(int64_t value) {
+    if (registry_ == nullptr || !registry_->enabled_) return;
+    if (slot_ == nullptr || generation_ != registry_->generation_) Rebind();
+    *slot_ = value;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  CounterHandle(MetricsRegistry* registry, std::string name, bool gauge)
+      : registry_(registry), name_(std::move(name)), gauge_(gauge) {}
+
+  void Rebind() {
+    // std::map nodes are pointer-stable, so the slot stays valid until Clear().
+    slot_ = &MetricsRegistry::Slot(gauge_ ? registry_->gauges_ : registry_->counters_,
+                                   name_);
+    generation_ = registry_->generation_;
+  }
+
+  MetricsRegistry* registry_ = nullptr;
+  std::string name_;
+  bool gauge_ = false;
+  int64_t* slot_ = nullptr;
+  uint64_t generation_ = 0;
+};
+
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+
+  void Observe(Nanos value) {
+    if (registry_ == nullptr || !registry_->enabled_) return;
+    if (slot_ == nullptr || generation_ != registry_->generation_) Rebind();
+    slot_->Record(value);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  HistogramHandle(MetricsRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+
+  void Rebind() {
+    auto it = registry_->histograms_.find(name_);
+    if (it == registry_->histograms_.end()) {
+      it = registry_->histograms_.emplace(name_, Histogram{}).first;
+    }
+    slot_ = &it->second;
+    generation_ = registry_->generation_;
+  }
+
+  MetricsRegistry* registry_ = nullptr;
+  std::string name_;
+  Histogram* slot_ = nullptr;
+  uint64_t generation_ = 0;
+};
+
+inline CounterHandle MetricsRegistry::MakeCounter(std::string_view name, bool gauge) {
+  return CounterHandle(this, std::string(name), gauge);
+}
+inline HistogramHandle MetricsRegistry::MakeHistogram(std::string_view name) {
+  return HistogramHandle(this, std::string(name));
+}
 
 // Minimal JSON string escaping for report writers (quotes, backslashes, control
 // characters). Metric/host names are plain ASCII; this keeps the output valid

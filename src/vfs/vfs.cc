@@ -150,8 +150,8 @@ int64_t Vfs::ReadAt(const Inode& inode, int64_t offset, int64_t len, std::string
   if (metrics_ != nullptr && metrics_->enabled()) {
     const bool remote = InodeIsRemote(inode);
     const int64_t blocks = (n + costs_->disk_block_bytes - 1) / costs_->disk_block_bytes;
-    metrics_->Inc(remote ? "vfs.nfs_bytes_read" : "vfs.bytes_read", n);
-    metrics_->Inc(remote ? "vfs.nfs_blocks_read" : "vfs.blocks_read", blocks);
+    (remote ? nfs_bytes_read_metric_ : bytes_read_metric_).Inc(n);
+    (remote ? nfs_blocks_read_metric_ : blocks_read_metric_).Inc(blocks);
   }
   return n;
 }
@@ -184,8 +184,8 @@ int64_t Vfs::WriteAt(Inode& inode, int64_t offset, std::string_view bytes,
     const bool remote = InodeIsRemote(inode);
     const int64_t n = static_cast<int64_t>(bytes.size());
     const int64_t blocks = (n + costs_->disk_block_bytes - 1) / costs_->disk_block_bytes;
-    metrics_->Inc(remote ? "vfs.nfs_bytes_written" : "vfs.bytes_written", n);
-    metrics_->Inc(remote ? "vfs.nfs_blocks_written" : "vfs.blocks_written", blocks);
+    (remote ? nfs_bytes_written_metric_ : bytes_written_metric_).Inc(n);
+    (remote ? nfs_blocks_written_metric_ : blocks_written_metric_).Inc(blocks);
   }
   return static_cast<int64_t>(bytes.size());
 }

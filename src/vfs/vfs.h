@@ -73,7 +73,20 @@ class Vfs {
 
   // Installed by the owning kernel: byte/block counters for ReadAt/WriteAt land
   // here. May stay null (tests construct a bare Vfs); recording never charges cost.
-  void set_metrics(sim::MetricsRegistry* metrics) { metrics_ = metrics; }
+  void set_metrics(sim::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+    if (metrics == nullptr) return;
+    // ReadAt/WriteAt run once per buffer on every file syscall: pre-resolve the
+    // counter slots instead of paying a map lookup per call.
+    bytes_read_metric_ = metrics->MakeCounter("vfs.bytes_read");
+    blocks_read_metric_ = metrics->MakeCounter("vfs.blocks_read");
+    nfs_bytes_read_metric_ = metrics->MakeCounter("vfs.nfs_bytes_read");
+    nfs_blocks_read_metric_ = metrics->MakeCounter("vfs.nfs_blocks_read");
+    bytes_written_metric_ = metrics->MakeCounter("vfs.bytes_written");
+    blocks_written_metric_ = metrics->MakeCounter("vfs.blocks_written");
+    nfs_bytes_written_metric_ = metrics->MakeCounter("vfs.nfs_bytes_written");
+    nfs_blocks_written_metric_ = metrics->MakeCounter("vfs.nfs_blocks_written");
+  }
 
   // Installed by the owning kernel: the cluster-wide fault injector plus this
   // machine's hostname (for disk-full window matching). Stays null in default
@@ -162,6 +175,12 @@ class Vfs {
   Filesystem* local_;
   const sim::CostModel* costs_;
   sim::MetricsRegistry* metrics_ = nullptr;
+  // mutable: ReadAt/WriteAt are const (they mutate only the inode) but recording
+  // a metric updates the handle's cached slot.
+  mutable sim::CounterHandle bytes_read_metric_, blocks_read_metric_;
+  mutable sim::CounterHandle nfs_bytes_read_metric_, nfs_blocks_read_metric_;
+  mutable sim::CounterHandle bytes_written_metric_, blocks_written_metric_;
+  mutable sim::CounterHandle nfs_bytes_written_metric_, nfs_blocks_written_metric_;
   sim::FaultInjector* faults_ = nullptr;
   std::string fault_host_;
   std::map<const Inode*, InodePtr> mounts_;

@@ -1,6 +1,9 @@
 #include "src/vm/cpu.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "src/sim/hash.h"
 
 namespace pmig::vm {
 
@@ -29,6 +32,51 @@ void VmContext::LoadImage(const AoutImage& image) {
   cpu = CpuState{};
   cpu.pc = image.header.entry;
   cpu.sp = kStackTop;
+  dirty = DirtyTracking{};  // a fresh image disarms tracking; the kernel re-arms
+}
+
+int64_t DirtyTracking::CountDataDirty() const {
+  return std::count(data_dirty.begin(), data_dirty.end(), true);
+}
+
+int64_t DirtyTracking::CountStackDirty() const {
+  return std::count(stack_dirty.begin(), stack_dirty.end(), true);
+}
+
+void VmContext::ArmDirtyTracking() {
+  dirty.armed = true;
+  dirty.text_digest = sim::HashBytes(text);
+  dirty.base = data;
+  dirty.base_digest = sim::HashBytes(dirty.base);
+  dirty.data_dirty.assign((data.size() + kDirtyPageBytes - 1) / kDirtyPageBytes, false);
+  dirty.stack_dirty.assign(kStackMax / kDirtyPageBytes, false);
+}
+
+bool VmContext::ArmDirtyTrackingWithBase(std::vector<uint8_t> base,
+                                         const std::vector<uint32_t>& dirty_pages) {
+  if (base.size() != data.size()) return false;
+  ArmDirtyTracking();
+  dirty.base = std::move(base);
+  dirty.base_digest = sim::HashBytes(dirty.base);
+  for (const uint32_t page : dirty_pages) {
+    if (page < dirty.data_dirty.size()) dirty.data_dirty[page] = true;
+  }
+  return true;
+}
+
+void VmContext::MarkDirty(uint32_t addr, uint32_t len) {
+  const uint32_t last = addr + len - 1;  // len > 0 checked by the caller
+  if (addr >= kDataBase && last < kDataBase + data.size()) {
+    for (uint32_t page = (addr - kDataBase) / kDirtyPageBytes;
+         page <= (last - kDataBase) / kDirtyPageBytes; ++page) {
+      dirty.data_dirty[page] = true;
+    }
+  } else if (addr >= kStackBase && last < kStackTop) {
+    for (uint32_t page = (addr - kStackBase) / kDirtyPageBytes;
+         page <= (last - kStackBase) / kDirtyPageBytes; ++page) {
+      dirty.stack_dirty[page] = true;
+    }
+  }
 }
 
 std::vector<uint8_t> VmContext::StackContents() const {
@@ -82,7 +130,10 @@ bool VmContext::ReadBytes(uint32_t addr, uint32_t len, uint8_t* out) const {
 bool VmContext::WriteBytes(uint32_t addr, uint32_t len, const uint8_t* in) {
   uint8_t* p = ResolveWrite(*this, addr, len);
   if (p == nullptr) return false;
-  if (len > 0) std::memcpy(p, in, len);
+  if (len > 0) {
+    std::memcpy(p, in, len);
+    if (dirty.armed) MarkDirty(addr, len);
+  }
   return true;
 }
 

@@ -43,6 +43,28 @@ enum class StopReason : uint8_t {
   kFault,    // faulted; kind in Cpu::last_fault()
 };
 
+// Dirty-tracking granule: 1 KB, matching the cost model's disk_block_bytes, so a
+// dirty page maps one-to-one onto a disk block in the delta dump.
+constexpr uint32_t kDirtyPageBytes = 1024;
+
+// Page-granular dirty tracking for the incremental dump path (opt-in via
+// KernelConfig::track_dirty_pages). Text is immutable after load and is tracked
+// once by content digest; data is tracked against a stable `base` snapshot taken
+// at arm time, so a delta dump is always cumulative against one well-known base
+// (no chain replay on restore). The stack is tracked too, but only for
+// observability — stacks are small and always dumped in full.
+struct DirtyTracking {
+  bool armed = false;
+  uint64_t text_digest = 0;  // FNV-1a of the text segment at arm time
+  uint64_t base_digest = 0;  // FNV-1a of `base`
+  std::vector<uint8_t> base;  // the data segment as of arming (the delta base)
+  std::vector<bool> data_dirty;   // one flag per kDirtyPageBytes page of data
+  std::vector<bool> stack_dirty;  // one flag per page of [kStackBase, kStackTop)
+
+  int64_t CountDataDirty() const;
+  int64_t CountStackDirty() const;
+};
+
 // The migratable machine context.
 struct VmContext {
   std::vector<uint8_t> text;
@@ -51,11 +73,21 @@ struct VmContext {
   // Only [sp, kStackTop) is meaningful and only that slice is dumped.
   std::vector<uint8_t> stack = std::vector<uint8_t>(kStackMax, 0);
   CpuState cpu;
+  DirtyTracking dirty;
 
   // Loads an executable image: resets segments and registers, pc at entry, empty
   // stack. (The modified execve() of Section 5.2 instead pre-sizes the stack; that
   // logic lives in the kernel.)
   void LoadImage(const AoutImage& image);
+
+  // Arms dirty tracking with the current data segment as the delta base (used at
+  // exec time). Clears both bitmaps and computes the text/base digests.
+  void ArmDirtyTracking();
+  // Arms with an explicit base (a restored process: `base` is the original
+  // exec-time data, `dirty_pages` are the pages the restored image differs in).
+  // Requires base.size() == data.size(); returns false otherwise.
+  bool ArmDirtyTrackingWithBase(std::vector<uint8_t> base,
+                                const std::vector<uint32_t>& dirty_pages);
 
   // The dumped stack: bytes from sp to kStackTop.
   uint32_t StackSize() const { return kStackTop - cpu.sp; }
@@ -73,6 +105,11 @@ struct VmContext {
   // Reads a NUL-terminated string of at most `max_len` bytes (excluding NUL).
   bool ReadCString(uint32_t addr, uint32_t max_len, std::string* out) const;
   bool WriteCString(uint32_t addr, const std::string& s);  // writes s + NUL
+
+ private:
+  // Flags the pages covered by a completed write. Every mutation of data/stack
+  // funnels through WriteBytes, so this is the single tracking point.
+  void MarkDirty(uint32_t addr, uint32_t len);
 };
 
 // Executes instructions against a VmContext.
