@@ -96,6 +96,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--daemons") options.daemons = true;
     if (arg == "--metrics") options.metrics = true;  // pstat shows the counters
+    if (arg == "--tracked") options.dirty_tracking = true;  // incremental dumps
     if (arg == "--hosts" && i + 1 < argc) options.num_hosts = std::atoi(argv[++i]);
   }
   Session session(std::move(options));

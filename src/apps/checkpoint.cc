@@ -166,8 +166,15 @@ Result<CheckpointResult> TakeCheckpoint(kernel::SyscallApi& api, int32_t pid,
     SlotRecord& rec = slots[static_cast<size_t>(i)];
     const SlotRecord& was = prev[static_cast<size_t>(i)];
     if (was.state != 0 && was.hash == hash) {
-      rec = {2, hash, was.source};
-      continue;
+      // FNV-1a equality is a hint, not proof of identity (see hash.h), and the
+      // restore-time digest cannot catch a collision either (colliding contents
+      // hash alike by definition). Confirm against the prior copy's bytes.
+      const Result<std::string> prior =
+          ReadWholeFile(api, CkptName(dir, was.source, "open" + std::to_string(i)));
+      if (prior.ok() && *prior == *bytes) {
+        rec = {2, hash, was.source};
+        continue;
+      }
     }
     if (WriteWholeFile(api, CkptName(dir, index, "open" + std::to_string(i)), *bytes).ok()) {
       rec = {1, hash, index};

@@ -184,6 +184,9 @@ IncrAout BuildIncrAout(const vm::VmContext& ctx, uint32_t machtype) {
   for (uint32_t page = 0; page < dirty.data_dirty.size(); ++page) {
     if (!dirty.data_dirty[page]) continue;
     const uint32_t start = page * vm::kDirtyPageBytes;
+    // A bit can be stale: set while the segment was larger, before an sbrk()
+    // shrink. A page wholly past the current data has nothing to contribute.
+    if (start >= ctx.data.size()) continue;
     const uint32_t end = std::min(start + vm::kDirtyPageBytes,
                                   static_cast<uint32_t>(ctx.data.size()));
     a.pages.push_back({page, {ctx.data.begin() + start, ctx.data.begin() + end}});

@@ -20,7 +20,16 @@ Result<kernel::PreparedDump> BuildSigdump(kernel::Kernel& k, kernel::Proc& p) {
   // statics). Incremental dump (setdumpmode): text by content digest, data as
   // dirty pages against the exec-time base; the cache blobs the restore side
   // will need are written alongside if this host does not have them yet.
-  const bool incremental = p.dump_incremental && ctx.dirty.armed;
+  // A delta can only express a data segment the same size as its armed base
+  // (ReconstructIncrAout rejects anything else), so a process that grew or
+  // shrank its heap via sbrk() gets a full dump instead — still restorable
+  // anywhere. The restart re-arms tracking at the new size, so the *next*
+  // dump of the restored process is a delta again.
+  const bool delta_ok = ctx.dirty.armed && ctx.data.size() == ctx.dirty.base.size();
+  const bool incremental = p.dump_incremental && delta_ok;
+  if (p.dump_incremental && ctx.dirty.armed && !delta_ok) {
+    k.metrics().Inc("dump.full_fallback");
+  }
   std::string aout_bytes;
   std::vector<std::pair<std::string, std::string>> cache_blobs;
   int64_t full_equivalent = 0;

@@ -909,6 +909,7 @@ bool Kernel::DispatchVmSyscall(Proc& p, int32_t number) {
         return epilogue();
       }
       ctx.data.resize(static_cast<size_t>(new_size), 0);
+      ctx.NoteDataResize(static_cast<size_t>(old_size), static_cast<size_t>(new_size));
       if (sink != nullptr && r[0] > 0) {
         sink->ChargeCpu(r[0] * 50);  // page zeroing
       }

@@ -67,8 +67,12 @@ bool VmContext::ArmDirtyTrackingWithBase(std::vector<uint8_t> base,
 void VmContext::MarkDirty(uint32_t addr, uint32_t len) {
   const uint32_t last = addr + len - 1;  // len > 0 checked by the caller
   if (addr >= kDataBase && last < kDataBase + data.size()) {
+    // The bitmap was sized at arm time; sbrk() may have grown the segment since,
+    // so pages past the bitmap are untrackable. That is safe: a dump whose data
+    // size differs from the base falls back to a full dump (BuildSigdump).
+    const uint32_t tracked = static_cast<uint32_t>(dirty.data_dirty.size());
     for (uint32_t page = (addr - kDataBase) / kDirtyPageBytes;
-         page <= (last - kDataBase) / kDirtyPageBytes; ++page) {
+         page <= (last - kDataBase) / kDirtyPageBytes && page < tracked; ++page) {
       dirty.data_dirty[page] = true;
     }
   } else if (addr >= kStackBase && last < kStackTop) {
@@ -76,6 +80,21 @@ void VmContext::MarkDirty(uint32_t addr, uint32_t len) {
          page <= (last - kStackBase) / kDirtyPageBytes; ++page) {
       dirty.stack_dirty[page] = true;
     }
+  }
+}
+
+void VmContext::NoteDataResize(size_t old_size, size_t new_size) {
+  if (!dirty.armed || old_size == new_size || dirty.data_dirty.empty()) return;
+  // A resize changes bytes without going through WriteBytes: everything from the
+  // low-water mark up is discarded on shrink and zero-filled on a later regrow.
+  // Mark those pages dirty so a delta taken once the size is back at the base's
+  // still reconstructs bit-exactly. Pages past the bitmap need no marking — with
+  // the size off the base's, the dump falls back to full anyway.
+  const size_t lo = std::min(old_size, new_size);
+  const size_t hi = std::max(old_size, new_size);
+  const size_t last = std::min((hi - 1) / kDirtyPageBytes, dirty.data_dirty.size() - 1);
+  for (size_t page = lo / kDirtyPageBytes; page <= last; ++page) {
+    dirty.data_dirty[page] = true;
   }
 }
 

@@ -88,6 +88,10 @@ struct VmContext {
   // Requires base.size() == data.size(); returns false otherwise.
   bool ArmDirtyTrackingWithBase(std::vector<uint8_t> base,
                                 const std::vector<uint32_t>& dirty_pages);
+  // Records a data-segment resize (sbrk) in the dirty state: pages covering the
+  // resized range are marked dirty, since the bytes there change (shrink
+  // discards, regrow zero-fills) without any tracked write. No-op when disarmed.
+  void NoteDataResize(size_t old_size, size_t new_size);
 
   // The dumped stack: bytes from sp to kStackTop.
   uint32_t StackSize() const { return kStackTop - cpu.sp; }

@@ -188,6 +188,169 @@ TEST(Incremental, DumpModeNeedsTrackingArmed) {
   EXPECT_TRUE(p->migrated);
 }
 
+// --- sbrk() and dirty tracking ---
+
+
+TEST(Incremental, MarkDirtyAfterHeapGrowthStaysInsideBitmap) {
+  vm::VmContext ctx;
+  ctx.text.assign(vm::kInstrBytes, 0);
+  ctx.data.assign(100, 7);
+  ctx.ArmDirtyTracking();
+  const size_t tracked = ctx.dirty.data_dirty.size();
+  // Grow well past the armed bitmap (as sbrk() does) and write into the new
+  // space: the mark must clamp to the bitmap, not index past it.
+  const size_t old_size = ctx.data.size();
+  ctx.data.resize(old_size + 64 * vm::kDirtyPageBytes, 0);
+  ctx.NoteDataResize(old_size, ctx.data.size());
+  const uint8_t value = 42;
+  EXPECT_TRUE(ctx.WriteBytes(vm::kDataBase + static_cast<uint32_t>(ctx.data.size()) - 1,
+                             1, &value));
+  EXPECT_EQ(ctx.dirty.data_dirty.size(), tracked);
+  EXPECT_EQ(ctx.data.back(), 42);
+}
+
+constexpr std::string_view kHeapGrower = R"(
+; Grows its heap by two pages, writes into the new space, then blocks reading
+; its console (so tests can wait for it to quiesce, like /bin/counter).
+        .text
+start:  movi r0, 2048
+        sys  SYS_brk
+        mov  r5, r0             ; r5 = base of the new heap
+        movi r4, 42
+        stb  r4, r5, 0
+        stb  r4, r5, 1024
+loop:   movi r0, 0
+        movi r1, buf
+        movi r2, 1
+        sys  SYS_read
+        jmp  loop
+        .data
+seed:   .ascii "seed"
+buf:    .space 8
+)";
+
+constexpr std::string_view kHeapShrinker = R"(
+; Shrinks its heap by four bytes and grows it right back: the tail of the
+; data segment is now zeroes, with no store instruction ever touching it.
+        .text
+start:  movi r0, -4
+        sys  SYS_brk
+        movi r0, 4
+        sys  SYS_brk
+loop:   movi r0, 0
+        movi r1, buf
+        movi r2, 1
+        sys  SYS_read
+        jmp  loop
+        .data
+pad:    .space 1012
+buf:    .space 8
+tail:   .ascii "AAAAAAAA"
+)";
+
+TEST(Incremental, SbrkGrownHeapFallsBackToFullDumpAndRestores) {
+  World world(TrackedOptions());
+  core::InstallProgram(world.host("brick"), "/bin/grower", kHeapGrower);
+  const int32_t pid = world.StartVm("brick", "/bin/grower");
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+
+  kernel::Proc* src = world.host("brick").FindProc(pid);
+  ASSERT_NE(src, nullptr);
+  ASSERT_NE(src->vm, nullptr);
+  const std::vector<uint8_t> expected = src->vm->data;
+  const size_t base_size = src->vm->dirty.base.size();
+  ASSERT_EQ(expected.size(), base_size + 2048);
+  EXPECT_EQ(expected[base_size], 42);
+  EXPECT_EQ(expected[base_size + 1024], 42);
+
+  const int32_t dp =
+      world.StartTool("brick", "dumpproc", {"-p", std::to_string(pid), "--incremental"});
+  ASSERT_TRUE(world.RunUntilExited("brick", dp));
+  ASSERT_EQ(world.ExitInfoOf("brick", dp).exit_code, 0);
+
+  // The grown segment cannot be a delta against the exec-time base: the dump
+  // must have fallen back to a restorable full a.out.
+  EXPECT_FALSE(core::IsIncrAout(world.FileContents("brick", core::DumpPaths::For(pid).aout)));
+
+  const int32_t rs = world.StartTool("schooner", "restart",
+                                     {"-p", std::to_string(pid), "-h", "brick"},
+                                     kUserUid, world.console("schooner"));
+  ASSERT_TRUE(world.RunUntilBlocked("schooner", rs));
+  kernel::Proc* restored = world.host("schooner").FindProc(rs);
+  ASSERT_NE(restored, nullptr);
+  ASSERT_NE(restored->vm, nullptr);
+  EXPECT_EQ(restored->vm->data, expected);
+}
+
+TEST(Incremental, SbrkShrinkRegrowStillDeltaDumpsExactly) {
+  World world(TrackedOptions());
+  core::InstallProgram(world.host("brick"), "/bin/shrinker", kHeapShrinker);
+  const int32_t pid = world.StartVm("brick", "/bin/shrinker");
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+
+  kernel::Proc* src = world.host("brick").FindProc(pid);
+  ASSERT_NE(src, nullptr);
+  ASSERT_NE(src->vm, nullptr);
+  const std::vector<uint8_t> expected = src->vm->data;
+  // The size is back at the base's, but the last four bytes were zeroed by the
+  // shrink/regrow without a single tracked store.
+  ASSERT_EQ(expected.size(), src->vm->dirty.base.size());
+  ASSERT_EQ(expected.size(), 1028u);
+  for (size_t i = 1024; i < 1028; ++i) EXPECT_EQ(expected[i], 0u) << i;
+
+  const int32_t dp =
+      world.StartTool("brick", "dumpproc", {"-p", std::to_string(pid), "--incremental"});
+  ASSERT_TRUE(world.RunUntilExited("brick", dp));
+  ASSERT_EQ(world.ExitInfoOf("brick", dp).exit_code, 0);
+  // Same size as the base, so this dump really is a delta — and the
+  // resize-dirtied page rides along, making it reconstruct bit-exactly.
+  ASSERT_TRUE(core::IsIncrAout(world.FileContents("brick", core::DumpPaths::For(pid).aout)));
+
+  const int32_t rs = world.StartTool("schooner", "restart",
+                                     {"-p", std::to_string(pid), "-h", "brick"},
+                                     kUserUid, world.console("schooner"));
+  ASSERT_TRUE(world.RunUntilBlocked("schooner", rs));
+  kernel::Proc* restored = world.host("schooner").FindProc(rs);
+  ASSERT_NE(restored, nullptr);
+  ASSERT_NE(restored->vm, nullptr);
+  EXPECT_EQ(restored->vm->data, expected);
+}
+
+TEST(Incremental, CachedMigrateOfSbrkProcessNeverLosesIt) {
+  World world(TrackedOptions());
+  core::InstallProgram(world.host("brick"), "/bin/grower", kHeapGrower);
+  const int32_t pid = world.StartVm("brick", "/bin/grower");
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  kernel::Proc* src = world.host("brick").FindProc(pid);
+  ASSERT_NE(src, nullptr);
+  const std::vector<uint8_t> expected = src->vm->data;
+
+  net::Network* net = &world.cluster().network();
+  auto rc = std::make_shared<int>(-1);
+  kernel::SpawnOptions opts;
+  opts.creds = {kUserUid, 10, kUserUid, 10};
+  const int32_t mig = world.host("brick").SpawnNative(
+      "migrate",
+      [rc, net, pid](SyscallApi& api) {
+        core::MigrateOptions mo = core::MigrateOptions::Robust();
+        mo.cached = true;
+        *rc = core::Migrate(api, *net, pid, "brick", "schooner", /*use_daemon=*/false, mo);
+        return *rc;
+      },
+      opts);
+  ASSERT_TRUE(world.RunUntilExited("brick", mig, sim::Seconds(600)));
+  EXPECT_EQ(*rc, 0);
+  const int32_t moved_pid = world.FindPidByCommand("schooner", "migrated");
+  ASSERT_GT(moved_pid, 0);
+  kernel::Proc* moved = world.host("schooner").FindProc(moved_pid);
+  ASSERT_NE(moved, nullptr);
+  ASSERT_NE(moved->vm, nullptr);
+  EXPECT_EQ(moved->vm->data, expected);
+}
+
 // --- Checkpoint dedup + incremental checkpoints ---
 
 TEST(Incremental, CheckpointSkipsUnchangedOpenFileCopies) {
@@ -240,6 +403,44 @@ TEST(Incremental, CheckpointSkipsUnchangedOpenFileCopies) {
   EXPECT_TRUE(world.cluster().RunUntil([&] {
     return world.FileContents("brick", "/u/user/counter.out") == "one\nthree\n";
   }));
+}
+
+TEST(Incremental, CheckpointDedupDistrustsBareHashMatch) {
+  World world(TrackedOptions(1));
+  world.host("brick").vfs().SetupMkdirAll("/ckpt");
+  const int32_t pid = world.StartVm("brick", "/bin/counter");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  world.console("brick")->Type("one\n");
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+
+  auto current = std::make_shared<int32_t>(pid);
+  auto take = [&world, current](int index) {
+    return RunSystem(world, "brick", [current, index](SyscallApi& api) {
+      const auto r = apps::TakeCheckpoint(api, *current, "/ckpt", index,
+                                          /*incremental=*/true);
+      if (!r.ok()) return 1;
+      *current = r->new_pid;
+      return 0;
+    });
+  };
+  ASSERT_EQ(take(0), 0);
+  ASSERT_TRUE(world.RunUntilBlocked("brick", *current));
+
+  // Corrupt checkpoint 0's saved copy without touching its recorded hash. The
+  // live file still hashes to the manifest value — exactly what an FNV
+  // collision would look like — but the stored bytes no longer match, so the
+  // dedup must refuse the reuse and write a fresh copy.
+  kernel::Kernel& brick = world.host("brick");
+  auto copy = brick.vfs().Resolve(brick.vfs().RootState(), "/ckpt/0.open3",
+                                  vfs::Follow::kAll, nullptr);
+  ASSERT_TRUE(copy.ok());
+  ASSERT_FALSE(copy->inode->data.empty());
+  copy->inode->data[0] = static_cast<char>(copy->inode->data[0] ^ 0xff);
+
+  ASSERT_EQ(take(1), 0);
+  ASSERT_TRUE(world.RunUntilBlocked("brick", *current));
+  EXPECT_TRUE(world.FileExists("brick", "/ckpt/1.open3"));
+  EXPECT_EQ(world.FileContents("brick", "/ckpt/1.open3"), "one\n");
 }
 
 TEST(Incremental, CheckpointDirectoryIsSelfContained) {
