@@ -23,4 +23,7 @@ echo "== phase-drift gate =="
 ./build/bench/check_phases --fig4 ./build/bench/fig4_migrate \
     --baseline bench/phase_baseline.txt
 
+echo "== placement gate =="
+./build/bench/ablation_placement --check
+
 echo "ci: all green"

@@ -21,10 +21,12 @@ bool Movable(kernel::Kernel& host, const kernel::Proc& p) {
 
 EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
                               std::string_view from_host, std::string_view to_host,
-                              bool use_daemon, const core::MigrateOptions& opts) {
+                              bool use_daemon, const core::MigrateOptions& opts,
+                              PlacementPolicy policy, double fault_threshold) {
   EvacuationReport report;
   kernel::Kernel* from = net.FindHost(from_host);
   if (from == nullptr) return report;
+  const PlacementEngine engine(&net, policy);
 
   // Snapshot the pids first; the list changes as processes move away.
   std::vector<int32_t> candidates;
@@ -38,8 +40,21 @@ EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
       report.unmovable.push_back(pid);
       continue;
     }
-    const int rc = core::Migrate(api, net, pid, std::string(from_host),
-                                 std::string(to_host), use_daemon, opts);
+    std::string target(to_host);
+    if (target.empty()) {
+      PlacementQuery query;
+      query.from_host = std::string(from_host);
+      query.pid = pid;
+      query.fault_threshold = fault_threshold;
+      query.occupancy = true;  // count earlier evacuees even before they reschedule
+      target = engine.PickTarget(query);
+      if (target.empty()) {
+        report.unplaced.push_back(pid);
+        continue;
+      }
+    }
+    const int rc = core::Migrate(api, net, pid, std::string(from_host), target,
+                                 use_daemon, opts);
     if (rc == 0) {
       report.moved.push_back(pid);
     } else {

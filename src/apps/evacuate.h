@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/apps/placement.h"
 #include "src/core/tools.h"
 #include "src/kernel/kernel.h"
 #include "src/net/network.h"
@@ -22,6 +23,7 @@ struct EvacuationReport {
   std::vector<int32_t> moved;        // migrated successfully
   std::vector<int32_t> unmovable;    // skipped: sockets / children (Section 7)
   std::vector<int32_t> failed;       // migration attempted but failed
+  std::vector<int32_t> unplaced;     // engine found no eligible target (not attempted)
 };
 
 // Moves every eligible VM process from `from_host` to `to_host`. The caller must
@@ -29,10 +31,18 @@ struct EvacuationReport {
 // as `opts` to evacuate through a flaky network: each migration then retries
 // transient failures and falls back to restarting on the source rather than
 // losing the process (counted as failed, since it did not move).
+//
+// An empty `to_host` asks the PlacementEngine to pick a target per process under
+// `policy` — spreading the evacuees across the cluster instead of dumping them
+// all on one machine, and never picking a host that is down (or, under the
+// fault-aware policies, one with a bad recent track record). Processes with no
+// eligible target are reported as `unplaced` and receive no migrate attempt.
 EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
                               std::string_view from_host, std::string_view to_host,
                               bool use_daemon = true,
-                              const core::MigrateOptions& opts = {});
+                              const core::MigrateOptions& opts = {},
+                              PlacementPolicy policy = PlacementPolicy::kLoadOnly,
+                              double fault_threshold = 0.5);
 
 }  // namespace pmig::apps
 

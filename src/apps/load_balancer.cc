@@ -6,32 +6,13 @@
 
 namespace pmig::apps {
 
-int HostLoad(kernel::Kernel& host) {
-  if (host.metrics().enabled()) {
-    return static_cast<int>(host.metrics().Gauge("sched.runnable_vm"));
-  }
-  int runnable = 0;
-  for (kernel::Proc* p : host.ListProcs()) {
-    if (p->kind == kernel::ProcKind::kVm && p->state == kernel::ProcState::kRunnable) {
-      ++runnable;
-    }
-  }
-  return runnable;
-}
-
-std::vector<std::pair<std::string, int>> SurveyLoad(net::Network& net) {
-  std::vector<std::pair<std::string, int>> loads;
-  for (kernel::Kernel* host : net.hosts()) {
-    loads.emplace_back(host->hostname(), HostLoad(*host));
-  }
-  return loads;
-}
-
 namespace {
 
 // The oldest runnable VM process on `host` older than `min_age`. Skips processes
-// blocked in wait() (the Section 7 caveat) and anything holding sockets.
+// blocked in wait() (the Section 7 caveat) and anything holding sockets. A down
+// host has no candidates: its processes are frozen, not runnable work to shed.
 kernel::Proc* PickCandidate(kernel::Kernel& host, sim::Nanos now, sim::Nanos min_age) {
+  if (host.down()) return nullptr;
   kernel::Proc* best = nullptr;
   for (kernel::Proc* p : host.ListProcs()) {
     if (p->kind != kernel::ProcKind::kVm || p->state != kernel::ProcState::kRunnable) continue;
@@ -56,9 +37,10 @@ kernel::Proc* PickCandidate(kernel::Kernel& host, sim::Nanos now, sim::Nanos min
 LoadBalancerStats RunLoadBalancer(kernel::SyscallApi& api, net::Network& net,
                                   const LoadBalancerOptions& options) {
   LoadBalancerStats stats;
+  const PlacementEngine engine(&net, options.policy);
   for (int round = 0; round < options.max_rounds; ++round) {
     ++stats.rounds;
-    auto loads = SurveyLoad(net);
+    auto loads = SurveyLoad(net);  // live hosts only
     auto busiest = std::max_element(loads.begin(), loads.end(),
                                     [](const auto& a, const auto& b) { return a.second < b.second; });
     auto idlest = std::min_element(loads.begin(), loads.end(),
@@ -79,9 +61,33 @@ LoadBalancerStats RunLoadBalancer(kernel::SyscallApi& api, net::Network& net,
       api.Sleep(options.poll_interval);
       continue;
     }
-    const int rc = core::Migrate(api, net, candidate->pid, busiest->first, idlest->first,
-                                 options.use_daemon);
-    if (rc == 0) ++stats.migrations;
+    const int32_t victim = candidate->pid;  // the Proc may be reaped by the migration
+    PlacementQuery query;
+    query.from_host = busiest->first;
+    query.pid = victim;
+    query.fault_threshold = options.fault_threshold;
+    const std::string target = engine.PickTarget(query);
+    if (target.empty()) {
+      // Imbalanced, but every other host is down or fault-excluded. Wait for
+      // one to come back (or for a failing host's score to decay).
+      ++stats.no_target_rounds;
+      api.Sleep(options.poll_interval);
+      continue;
+    }
+    if (kernel::Kernel* t = net.FindHost(target); t != nullptr && t->down()) {
+      ++stats.attempts_to_down;  // the engine never does this; count it if it ever did
+    }
+    const int rc = core::Migrate(api, net, victim, busiest->first, target,
+                                 options.use_daemon, options.migrate);
+    if (rc == 0) {
+      ++stats.migrations;
+    } else if (rc == core::kMigrateFellBack) {
+      ++stats.fallback_restarts;
+    } else {
+      ++stats.failed_migrations;
+    }
+    stats.decisions += std::to_string(victim) + ":" + busiest->first + "->" + target +
+                       "=" + std::to_string(rc) + ";";
     api.Sleep(options.poll_interval);
   }
   return stats;

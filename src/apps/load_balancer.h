@@ -8,8 +8,10 @@
 //
 // The balancer is a native program on one machine. It surveys per-host load the
 // way rwhod/load daemons would (reading each kernel's run queue), picks the oldest
-// eligible CPU-bound process on the busiest machine, and migrates it to the idlest
-// one. As the paper notes, migrate-over-rsh "may be too slow in terms of real time
+// eligible CPU-bound process on the busiest machine, and hands target selection to
+// the PlacementEngine (the default kLoadOnly policy reproduces the historical
+// idlest-host choice; cost- and fault-aware policies use the richer signals). As
+// the paper notes, migrate-over-rsh "may be too slow in terms of real time
 // response" for this use — so the balancer defaults to the migration daemon.
 
 #ifndef PMIG_SRC_APPS_LOAD_BALANCER_H_
@@ -18,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "src/apps/placement.h"
+#include "src/core/tools.h"
 #include "src/kernel/kernel.h"
 #include "src/net/network.h"
 
@@ -31,21 +35,27 @@ struct LoadBalancerOptions {
   int imbalance_threshold = 2;
   bool use_daemon = true;  // rsh is too slow for load balancing (Section 8)
   int max_rounds = 100;    // survey rounds before giving up
+  // Target selection. kLoadOnly is decision-identical to the pre-engine
+  // balancer on a fault-free cluster.
+  PlacementPolicy policy = PlacementPolicy::kLoadOnly;
+  double fault_threshold = 0.5;  // kFaultAware/kCombined exclusion cutoff
+  // Per-migration behaviour, passed through to core::Migrate. The default is
+  // the paper's one-shot command; pass core::MigrateOptions::Robust() to make
+  // every balancer migration a never-lose-a-process transaction.
+  core::MigrateOptions migrate;
 };
 
 struct LoadBalancerStats {
-  int migrations = 0;
+  int migrations = 0;         // processes that actually moved (migrate exit 0)
   int rounds = 0;
+  int failed_migrations = 0;  // migrate failed outright (nonzero, not a fallback)
+  int fallback_restarts = 0;  // transactional migrate restarted on the source
+  int no_target_rounds = 0;   // imbalance seen but no eligible target existed
+  int attempts_to_down = 0;   // chosen target was down at migrate time (bug if >0)
+  // One "pid:from->to=rc;" entry per migrate call, in order — the decision
+  // sequence, for determinism/equivalence tests and the ablation bench.
+  std::string decisions;
 };
-
-// One host's runnable VM-process count (its "load"). When the host's metrics are
-// enabled this reads the scheduler's sched.runnable_vm gauge — the real per-host
-// statistics a load daemon would export — and otherwise falls back to scanning
-// the process table directly.
-int HostLoad(kernel::Kernel& host);
-
-// Per-host runnable VM-process count (the "load") as a load daemon would report.
-std::vector<std::pair<std::string, int>> SurveyLoad(net::Network& net);
 
 // Runs until the cluster's VM load is balanced (or max_rounds elapsed).
 LoadBalancerStats RunLoadBalancer(kernel::SyscallApi& api, net::Network& net,

@@ -17,41 +17,87 @@ std::vector<int32_t> BatchJobsOn(kernel::Kernel& host, int32_t batch_uid) {
 NightShiftStats RunNightShift(kernel::SyscallApi& api, net::Network& net,
                               const NightShiftOptions& options) {
   NightShiftStats stats;
+  const PlacementEngine engine(&net, options.policy);
   for (int night = 0; night < options.nights; ++night) {
-    // Dusk: spread the day machine's hogs across the other machines, round-robin,
-    // leaving a fair share at home.
+    // Dusk: spread the day machine's hogs across the other machines, leaving a
+    // fair share at home. kLoadOnly walks the eligible hosts round-robin (the
+    // historical behaviour); the other policies place each job via the engine.
     kernel::Kernel* day = net.FindHost(options.day_host);
     if (day == nullptr) break;
     std::vector<int32_t> jobs = BatchJobsOn(*day, options.batch_uid);
     const auto& hosts = net.hosts();
-    const size_t share = (jobs.size() + hosts.size() - 1) / hosts.size();
+    std::vector<kernel::Kernel*> eligible;  // spread targets, in network order
+    for (kernel::Kernel* host : hosts) {
+      if (host->hostname() == options.day_host) continue;
+      if (!engine.Eligible(*host, options.fault_threshold)) continue;
+      eligible.push_back(host);
+    }
+    // The fair share counts the day machine itself as one of the workers.
+    const size_t machines = eligible.size() + 1;
+    const size_t share = (jobs.size() + machines - 1) / machines;
     size_t target_index = 0;
     size_t moved_to_target = 0;
     for (size_t i = share; i < jobs.size(); ++i) {
-      // Skip the day host itself when choosing targets.
-      while (hosts[target_index]->hostname() == options.day_host ||
-             moved_to_target >= share) {
-        target_index = (target_index + 1) % hosts.size();
-        moved_to_target = 0;
+      std::string target;
+      if (options.policy == PlacementPolicy::kLoadOnly) {
+        // Advance past filled shares, and drop any target that crashed since
+        // dusk began — a dead machine must receive zero migration attempts.
+        while (!eligible.empty()) {
+          if (eligible[target_index]->down()) {
+            eligible.erase(eligible.begin() + static_cast<ptrdiff_t>(target_index));
+            if (eligible.empty()) break;
+            target_index %= eligible.size();
+            moved_to_target = 0;
+            continue;
+          }
+          if (moved_to_target >= share) {
+            target_index = (target_index + 1) % eligible.size();
+            moved_to_target = 0;
+            continue;
+          }
+          break;
+        }
+        if (eligible.empty()) break;  // nowhere left to spread; jobs stay home
+        target = eligible[target_index]->hostname();
+      } else {
+        PlacementQuery query;
+        query.from_host = options.day_host;
+        query.pid = jobs[i];
+        query.fault_threshold = options.fault_threshold;
+        target = engine.PickTarget(query);
+        if (target.empty()) break;  // no eligible target; jobs stay home
       }
-      const int rc = core::Migrate(api, net, jobs[i], options.day_host,
-                                   hosts[target_index]->hostname(), options.use_daemon);
+      const int rc = core::Migrate(api, net, jobs[i], options.day_host, target,
+                                   options.use_daemon, options.migrate);
       if (rc == 0) {
         ++stats.spread_migrations;
         ++moved_to_target;
+      } else {
+        ++stats.failed_spread;
       }
     }
 
     // Night: let them compute.
     api.Sleep(options.night_length);
 
-    // Dawn: gather every surviving hog back onto the day machine.
+    // Dawn: gather every surviving hog back onto the day machine. A night host
+    // that is down holds its jobs frozen — they are counted as failed gathers
+    // (visible, not silently stranded) and receive no doomed migrate attempts.
     for (kernel::Kernel* host : hosts) {
       if (host->hostname() == options.day_host) continue;
-      for (const int32_t pid : BatchJobsOn(*host, options.batch_uid)) {
+      const std::vector<int32_t> strays = BatchJobsOn(*host, options.batch_uid);
+      if (host->down()) {
+        stats.failed_gather += static_cast<int>(strays.size());
+        continue;
+      }
+      for (const int32_t pid : strays) {
         const int rc = core::Migrate(api, net, pid, host->hostname(), options.day_host,
-                                     options.use_daemon);
-        if (rc == 0) ++stats.gather_migrations;
+                                     options.use_daemon, options.migrate);
+        if (rc == 0) {
+          ++stats.gather_migrations;
+        } else {
+          ++stats.failed_gather;
+        }
       }
     }
     ++stats.nights_run;

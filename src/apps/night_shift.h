@@ -5,9 +5,12 @@
 // machines is low, these jobs can be distributed evenly throughout the system."
 //
 // NightShiftController is a native program: at nightfall it spreads every hog
-// process from the day machine across the cluster round-robin; at dawn it gathers
-// them back onto the day machine. Hogs are recognised by ownership (a dedicated
-// batch uid), not by name — migration renames processes.
+// process from the day machine across the cluster; at dawn it gathers them back
+// onto the day machine. Hogs are recognised by ownership (a dedicated batch uid),
+// not by name — migration renames processes. Spread targets come from the
+// PlacementEngine: the default kLoadOnly policy keeps the historical round-robin
+// walk (now skipping crashed hosts); the richer policies place each job on the
+// engine's best candidate instead.
 
 #ifndef PMIG_SRC_APPS_NIGHT_SHIFT_H_
 #define PMIG_SRC_APPS_NIGHT_SHIFT_H_
@@ -15,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "src/apps/placement.h"
+#include "src/core/tools.h"
 #include "src/kernel/kernel.h"
 #include "src/net/network.h"
 
@@ -26,12 +31,23 @@ struct NightShiftOptions {
   sim::Nanos night_length = sim::Seconds(60);
   int nights = 1;
   bool use_daemon = true;
+  // Target selection for the dusk spread. kLoadOnly keeps the round-robin walk
+  // over eligible hosts; other policies pick per-job via the engine.
+  PlacementPolicy policy = PlacementPolicy::kLoadOnly;
+  double fault_threshold = 0.5;
+  // Passed through to every core::Migrate call (dusk and dawn). Default is the
+  // one-shot command; core::MigrateOptions::Robust() makes each a transaction.
+  core::MigrateOptions migrate;
 };
 
 struct NightShiftStats {
   int spread_migrations = 0;   // dusk: day host -> others
   int gather_migrations = 0;   // dawn: others -> day host
   int nights_run = 0;
+  int failed_spread = 0;       // dusk migrations that failed (job stayed home)
+  // Dawn gathers that failed or could not be attempted — each is a job visibly
+  // stranded on a night host instead of silently uncounted.
+  int failed_gather = 0;
 };
 
 // Pids of live batch-uid VM processes on `host`.

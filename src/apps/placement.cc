@@ -1,0 +1,156 @@
+#include "src/apps/placement.h"
+
+#include "src/core/dump_format.h"
+#include "src/sim/hash.h"
+#include "src/vm/cpu.h"
+
+namespace pmig::apps {
+
+std::string_view PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kLoadOnly:
+      return "load-only";
+    case PlacementPolicy::kCostAware:
+      return "cost-aware";
+    case PlacementPolicy::kFaultAware:
+      return "fault-aware";
+    case PlacementPolicy::kCombined:
+      return "combined";
+  }
+  return "?";
+}
+
+int HostLoad(kernel::Kernel& host) {
+  if (host.metrics().enabled()) {
+    return static_cast<int>(host.metrics().Gauge("sched.runnable_vm"));
+  }
+  int runnable = 0;
+  for (kernel::Proc* p : host.ListProcs()) {
+    if (p->kind == kernel::ProcKind::kVm && p->state == kernel::ProcState::kRunnable) {
+      ++runnable;
+    }
+  }
+  return runnable;
+}
+
+std::vector<std::pair<std::string, int>> SurveyLoad(net::Network& net) {
+  std::vector<std::pair<std::string, int>> loads;
+  for (kernel::Kernel* host : net.hosts()) {
+    if (host->down()) continue;  // a crashed machine is not an idle machine
+    loads.emplace_back(host->hostname(), HostLoad(*host));
+  }
+  return loads;
+}
+
+namespace {
+
+// Does `host`'s /var/segcache hold the blob for `digest`? A survey-style read
+// of the host's own disk (the balancer already reads run queues this way).
+bool HasCachedSegment(kernel::Kernel& host, uint64_t digest) {
+  return host.vfs()
+      .Resolve(host.vfs().RootState(), core::SegCachePath(digest), vfs::Follow::kAll,
+               nullptr)
+      .ok();
+}
+
+// Bytes a dump of `pid` would put on the wire toward `to`: segments the target
+// already caches travel by digest (free); an armed dirty-tracked process whose
+// base is cached ships only its dirty pages; everything else ships in full.
+int64_t EstimatedBytes(kernel::Kernel& from, kernel::Kernel& to, int32_t pid) {
+  kernel::Proc* p = from.FindProc(pid);
+  if (p == nullptr || p->kind != kernel::ProcKind::kVm || p->vm == nullptr) return 0;
+  const vm::VmContext& ctx = *p->vm;
+  int64_t bytes = 0;
+  if (!HasCachedSegment(to, sim::HashBytes(ctx.text))) {
+    bytes += static_cast<int64_t>(ctx.text.size());
+  }
+  const bool delta_ok = ctx.dirty.armed && ctx.data.size() == ctx.dirty.base.size();
+  if (delta_ok && HasCachedSegment(to, sim::HashBytes(ctx.dirty.base))) {
+    bytes += ctx.dirty.CountDataDirty() * static_cast<int64_t>(vm::kDirtyPageBytes);
+  } else {
+    bytes += static_cast<int64_t>(ctx.data.size());
+  }
+  return bytes;
+}
+
+// Total observed net.bytes between the pair, both directions, across every
+// host's registry (each end books the legs it received). Zero with metrics off.
+int64_t WireHistory(net::Network& net, const std::string& a, const std::string& b) {
+  const std::string ab = "net.bytes." + a + "->" + b;
+  const std::string ba = "net.bytes." + b + "->" + a;
+  int64_t total = 0;
+  for (kernel::Kernel* host : net.hosts()) {
+    total += host->metrics().Counter(ab) + host->metrics().Counter(ba);
+  }
+  return total;
+}
+
+// Occupancy load: every live VM process, runnable or not (see
+// PlacementQuery::occupancy).
+int AliveVmCount(kernel::Kernel& host) {
+  int alive = 0;
+  for (kernel::Proc* p : host.ListProcs()) {
+    if (p->kind == kernel::ProcKind::kVm && p->Alive()) ++alive;
+  }
+  return alive;
+}
+
+}  // namespace
+
+bool PlacementEngine::Eligible(const kernel::Kernel& host, double fault_threshold) const {
+  if (host.down()) return false;
+  if (UsesFaultSignal()) {
+    const sim::FaultHistory* history = net_->fault_history();
+    if (history != nullptr && history->Score(host.hostname()) >= fault_threshold) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<CandidateScore> PlacementEngine::Score(const PlacementQuery& query) const {
+  std::vector<CandidateScore> scores;
+  kernel::Kernel* from = net_->FindHost(query.from_host);
+  const sim::FaultHistory* history = net_->fault_history();
+  for (kernel::Kernel* host : net_->hosts()) {
+    if (host->down() || host->hostname() == query.from_host) continue;
+    CandidateScore s;
+    s.host = host->hostname();
+    s.load = query.occupancy ? AliveVmCount(*host) : HostLoad(*host);
+    if (UsesCostSignal() && from != nullptr && query.pid >= 0) {
+      s.est_bytes = EstimatedBytes(*from, *host, query.pid);
+      s.wire_history = WireHistory(*net_, query.from_host, s.host);
+    }
+    if (history != nullptr) s.fault_score = history->Score(s.host);
+    s.fault_excluded = UsesFaultSignal() && s.fault_score >= query.fault_threshold;
+    scores.push_back(std::move(s));
+  }
+  return scores;
+}
+
+bool PlacementEngine::Beats(const CandidateScore& better,
+                            const CandidateScore& incumbent) const {
+  if (better.load != incumbent.load) return better.load < incumbent.load;
+  if (UsesCostSignal() && better.est_bytes != incumbent.est_bytes) {
+    return better.est_bytes < incumbent.est_bytes;
+  }
+  if (UsesFaultSignal() && better.fault_score != incumbent.fault_score) {
+    return better.fault_score < incumbent.fault_score;
+  }
+  if (UsesCostSignal() && better.wire_history != incumbent.wire_history) {
+    return better.wire_history > incumbent.wire_history;  // prefer the warm path
+  }
+  return false;  // equal: the incumbent (earlier in network order) keeps the slot
+}
+
+std::string PlacementEngine::PickTarget(const PlacementQuery& query) const {
+  const std::vector<CandidateScore> scores = Score(query);
+  const CandidateScore* best = nullptr;
+  for (const CandidateScore& s : scores) {
+    if (s.fault_excluded) continue;
+    if (best == nullptr || Beats(s, *best)) best = &s;
+  }
+  return best != nullptr ? best->host : std::string();
+}
+
+}  // namespace pmig::apps

@@ -1,0 +1,125 @@
+// The placement engine: where should a migrating process land?
+//
+// The paper's Section 8 applications (load balancing, evacuation, night-shift
+// batch spreading) all end with "pick a target host" — and picking well needs
+// more than the run-queue length. The engine scores candidates from signals the
+// cluster already produces:
+//
+//   liveness  — Kernel::down(): a crashed machine is never a target, full stop.
+//   load      — the sched.runnable_vm gauge (ListProcs fallback), as before.
+//   cost      — bytes the migration would actually put on the wire: a target
+//               whose /var/segcache already holds the process's text and delta
+//               base receives only the dirty pages (the PR-3 incremental path),
+//               so it is measurably cheaper than a cold one. Per-pair
+//               net.bytes.<a>-><b> history breaks remaining ties toward
+//               established paths.
+//   faults    — the cluster FaultHistory: decayed weight of recent migration
+//               failures against each host (EHOSTUNREACH counting double), fed
+//               by every migrate leg. Decay means a recovered host re-qualifies
+//               after a quiet interval.
+//
+// Policies pick which signals rank: kLoadOnly reproduces the pre-engine
+// balancer decision-for-decision (liveness aside — nothing is down in a
+// fault-free run), kCostAware prefers warm caches among equal loads,
+// kFaultAware refuses recently-failing hosts, kCombined does both.
+//
+// Reading signals is a survey, like SurveyLoad: it consumes no virtual time and
+// draws no RNG, so placement is deterministic and replay-stable.
+
+#ifndef PMIG_SRC_APPS_PLACEMENT_H_
+#define PMIG_SRC_APPS_PLACEMENT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/net/network.h"
+
+namespace pmig::apps {
+
+enum class PlacementPolicy {
+  kLoadOnly,    // the historical behaviour: least-loaded live host
+  kCostAware,   // least-loaded, then fewest estimated bytes on the wire
+  kFaultAware,  // least-loaded among hosts below the fault-score threshold
+  kCombined,    // fault filter + load + cost
+};
+
+std::string_view PlacementPolicyName(PlacementPolicy policy);
+
+struct PlacementQuery {
+  std::string from_host;  // the source; never a candidate
+  // The process being placed (on from_host). -1 disables the cost signal
+  // (est_bytes reports 0 for every candidate).
+  int32_t pid = -1;
+  // kFaultAware/kCombined: hosts whose decayed fault score is at or above this
+  // are excluded outright.
+  double fault_threshold = 0.5;
+  // Load = every live VM process instead of just the runnable ones. Back-to-back
+  // placements (evacuation) want this: a just-restarted process sits briefly off
+  // the run queue, and counting occupancy keeps consecutive picks from stacking
+  // onto the same host. The balancer keeps the classic run-queue signal.
+  bool occupancy = false;
+};
+
+// One candidate's signals, in network host order.
+struct CandidateScore {
+  std::string host;
+  int load = 0;             // runnable VM processes (HostLoad)
+  int64_t est_bytes = 0;    // estimated dump payload the wire would carry
+  int64_t wire_history = 0; // net.bytes between from_host and this host, both ways
+  double fault_score = 0;   // decayed failure weight (0 when no history exists)
+  bool fault_excluded = false;  // over the threshold under this policy
+};
+
+class PlacementEngine {
+ public:
+  explicit PlacementEngine(net::Network* net,
+                           PlacementPolicy policy = PlacementPolicy::kLoadOnly)
+      : net_(net), policy_(policy) {}
+
+  PlacementPolicy policy() const { return policy_; }
+
+  // A host this policy would consider at all: powered on, and (for the
+  // fault-aware policies) below the fault-score threshold.
+  bool Eligible(const kernel::Kernel& host, double fault_threshold = 0.5) const;
+
+  // Every live candidate except from_host, in network order, signals filled.
+  std::vector<CandidateScore> Score(const PlacementQuery& query) const;
+
+  // The best candidate under the policy, or "" when none qualifies. Ties break
+  // toward the earliest host in network order — which is exactly what the
+  // pre-engine min_element scan did, so kLoadOnly is decision-identical.
+  std::string PickTarget(const PlacementQuery& query) const;
+
+ private:
+  bool UsesFaultSignal() const {
+    return policy_ == PlacementPolicy::kFaultAware ||
+           policy_ == PlacementPolicy::kCombined;
+  }
+  bool UsesCostSignal() const {
+    return policy_ == PlacementPolicy::kCostAware ||
+           policy_ == PlacementPolicy::kCombined;
+  }
+  // True when `better` should displace `incumbent` under this policy
+  // (strictly — equal candidates keep the incumbent, preserving host order).
+  bool Beats(const CandidateScore& better, const CandidateScore& incumbent) const;
+
+  net::Network* net_;
+  PlacementPolicy policy_;
+};
+
+// One host's runnable VM-process count (its "load"). When the host's metrics
+// are enabled this reads the scheduler's sched.runnable_vm gauge — the real
+// per-host statistics a load daemon would export — and otherwise falls back to
+// scanning the process table directly.
+int HostLoad(kernel::Kernel& host);
+
+// Per-host runnable VM-process count as a load daemon would report. Crashed
+// (down) machines are not surveyed: a dead host reports nothing, rather than a
+// load of zero that would make it everyone's favourite target.
+std::vector<std::pair<std::string, int>> SurveyLoad(net::Network& net);
+
+}  // namespace pmig::apps
+
+#endif  // PMIG_SRC_APPS_PLACEMENT_H_

@@ -35,6 +35,7 @@ void Cluster::Boot() {
     hosts_.push_back(std::move(k));
   }
   network_->set_fault_injector(faults_.get());
+  network_->set_fault_history(&fault_history_);
 
   // Cross-machine file access fails when the owning machine is down.
   std::map<const vfs::Filesystem*, kernel::Kernel*> owners;

@@ -21,6 +21,7 @@
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/fault.h"
+#include "src/sim/fault_history.h"
 #include "src/sim/metrics.h"
 #include "src/sim/span.h"
 #include "src/sim/trace.h"
@@ -60,6 +61,7 @@ class Cluster {
   net::Network& network() { return *network_; }
   sim::VirtualClock& clock() { return clock_; }
   sim::FaultInjector& faults() { return *faults_; }
+  sim::FaultHistory& fault_history() { return fault_history_; }
   sim::TraceLog& trace() { return trace_; }
   sim::SpanLog& spans() { return spans_; }
   const sim::SpanLog& spans() const { return spans_; }
@@ -113,6 +115,7 @@ class Cluster {
   sim::SpanLog spans_{&clock_, &trace_};
   kernel::ProgramRegistry programs_;
   std::unique_ptr<sim::FaultInjector> faults_;
+  sim::FaultHistory fault_history_{&clock_};
   std::vector<std::unique_ptr<kernel::Kernel>> hosts_;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<net::SpawnService>> spawn_services_;

@@ -425,6 +425,22 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
                ? net::DaemonExec(api, net, host, program, std::move(args), remote_opts)
                : net::Rsh(api, net, host, program, std::move(args), remote_opts);
   };
+  // Every remote attempt's outcome also feeds the cluster's per-host fault
+  // history: placement policies read the decayed scores back to steer the next
+  // migration away from hosts that have been failing. Recording is bookkeeping
+  // only — it never consumes virtual time, so runs that never read the history
+  // are bit-identical with or without it.
+  auto record_outcome = [&](const std::string& host, const Result<int>& rc) {
+    sim::FaultHistory* history = net.fault_history();
+    if (history == nullptr || host == local) return;
+    if (!rc.ok()) {
+      history->RecordFailure(host, rc.error());
+    } else if (*rc == kToolTransient) {
+      history->RecordTransient(host);
+    } else {
+      history->RecordSuccess(host);  // the tool ran: the host is reachable
+    }
+  };
   // One leg of the transaction: up to opts.attempts tries, retrying only
   // failures a later attempt might not see again, with a doubling pause
   // between tries so a recovering host gets a moment to come back.
@@ -433,6 +449,7 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
     sim::Nanos backoff = opts.retry_backoff;
     for (int attempt = 0;; ++attempt) {
       Result<int> rc = run_on(host, program, args);
+      record_outcome(host, rc);
       const bool transient =
           rc.ok() ? *rc == kToolTransient : IsTransientErrno(rc.error());
       if (!transient || attempt + 1 >= opts.attempts) return rc;

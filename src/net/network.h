@@ -16,6 +16,7 @@
 #include "src/kernel/kernel.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/fault.h"
+#include "src/sim/fault_history.h"
 
 namespace pmig::net {
 
@@ -60,11 +61,18 @@ class Network {
   void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
   sim::FaultInjector* faults() const { return faults_; }
 
+  // Cluster-wide per-host fault history (null when the network was built bare).
+  // migrate records each remote leg's outcome here; placement policies read the
+  // decayed scores back. Recording never affects virtual time.
+  void set_fault_history(sim::FaultHistory* history) { fault_history_ = history; }
+  sim::FaultHistory* fault_history() const { return fault_history_; }
+
  private:
   const sim::CostModel* costs_;
   std::vector<kernel::Kernel*> hosts_;
   std::map<std::string, SpawnService*, std::less<>> spawn_services_;
   sim::FaultInjector* faults_ = nullptr;
+  sim::FaultHistory* fault_history_ = nullptr;
 };
 
 }  // namespace pmig::net
