@@ -70,7 +70,7 @@ sim::Nanos RunJob(int checkpoint_every_s, int* checkpoints_taken) {
 
 int main(int argc, char** argv) {
   using namespace pmig::bench;
-  ParseReportFlag(&argc, argv);
+  ParseBenchFlags(&argc, argv);
   using pmig::sim::Nanos;
   namespace sim = pmig::sim;
   std::printf("\n=== Ablation D: checkpoint interval vs job slowdown (Section 8) ===\n");

@@ -47,7 +47,7 @@ Measurement MeasureMigrate(const Placement& placement, bool use_daemon) {
 
 int main(int argc, char** argv) {
   using namespace pmig::bench;
-  ParseReportFlag(&argc, argv);
+  ParseBenchFlags(&argc, argv);
   std::vector<Row> rows;
   for (const Placement& placement : kPlacements) {
     const Measurement rsh = MeasureMigrate(placement, false);

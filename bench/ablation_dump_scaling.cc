@@ -78,7 +78,7 @@ DumpCosts Measure(const Sizes& sizes) {
 
 int main(int argc, char** argv) {
   using namespace pmig::bench;
-  ParseReportFlag(&argc, argv);
+  ParseBenchFlags(&argc, argv);
   using pmig::sim::Nanos;
   namespace sim = pmig::sim;
   std::printf("\n=== Ablation C: dump/restart cost vs process size ===\n");

@@ -127,7 +127,7 @@ int main(int argc, char** argv) {
     }
     argc = out;
   }
-  ParseReportFlag(&argc, argv);
+  ParseBenchFlags(&argc, argv);
 
   const Measurement mig_full = MeasureSecondMigration(/*cached=*/false);
   const Measurement mig_cached = MeasureSecondMigration(/*cached=*/true);

@@ -66,7 +66,7 @@ sim::Nanos Makespan(int jobs, int hosts, Mode mode, int* migrations) {
 
 int main(int argc, char** argv) {
   using namespace pmig::bench;
-  ParseReportFlag(&argc, argv);
+  ParseBenchFlags(&argc, argv);
   using pmig::sim::Nanos;
   namespace sim = pmig::sim;
   std::printf("\n=== Ablation E: load balancing by migration (Section 8) ===\n");

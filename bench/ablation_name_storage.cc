@@ -64,7 +64,7 @@ NameStorageResult Measure(kernel::KernelConfig::NameStorage storage, int open_fi
 
 int main(int argc, char** argv) {
   using namespace pmig::bench;
-  ParseReportFlag(&argc, argv);
+  ParseBenchFlags(&argc, argv);
   using Storage = pmig::kernel::KernelConfig::NameStorage;
 
   std::printf("\n=== Ablation B: name-string storage (Section 5.1 design choice) ===\n");

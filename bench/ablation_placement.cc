@@ -183,7 +183,7 @@ int main(int argc, char** argv) {
     }
     argc = out;
   }
-  ParseReportFlag(&argc, argv);
+  ParseBenchFlags(&argc, argv);
 
   constexpr PlacementPolicy kPolicies[] = {
       PlacementPolicy::kLoadOnly, PlacementPolicy::kCostAware,

@@ -97,7 +97,7 @@ FreezeResult MeasurePrecopy(int dirty_stride, int net_slowdown = 1) {
 
 int main(int argc, char** argv) {
   using namespace pmig::bench;
-  ParseReportFlag(&argc, argv);
+  ParseBenchFlags(&argc, argv);
   std::printf("\n=== Ablation F: freeze-everything (the paper) vs pre-copy (V-System) ===\n");
   std::printf("%12s | %12s %10s | %12s %10s %8s %7s | %10s\n", "dirty B/cyc",
               "paper frz ms", "bytes", "precopy frz", "total ms", "bytes", "rounds",

@@ -49,20 +49,67 @@ inline std::string& ReportPath() {
   return path;
 }
 
-// Strips --report=FILE / --report FILE from argv before google-benchmark sees it
-// (it rejects unrecognised flags). Call first in every bench main().
-inline void ParseReportFlag(int* argc, char** argv) {
+// Chrome trace destination set by --trace-out=FILE (empty: no trace). Benches
+// that run an instrumented scenario write its Perfetto-loadable timeline here.
+inline std::string& TraceOutPath() {
+  static std::string path;
+  return path;
+}
+
+// The shared bench flags, stripped from argv before google-benchmark sees it
+// (it rejects unrecognised flags). Call first in every bench main(). Every flag
+// accepts both --flag=VALUE and --flag VALUE, so all benches behave alike.
+inline void ParseBenchFlags(int* argc, char** argv) {
+  const auto take = [argc, argv](int* i, const char* name, size_t len,
+                                 std::string* dest) {
+    if (std::strncmp(argv[*i], name, len) == 0 && argv[*i][len] == '=') {
+      *dest = argv[*i] + len + 1;
+      return true;
+    }
+    if (std::strcmp(argv[*i], name) == 0 && *i + 1 < *argc) {
+      *dest = argv[++*i];
+      return true;
+    }
+    return false;
+  };
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
-    if (std::strncmp(argv[i], "--report=", 9) == 0) {
-      ReportPath() = argv[i] + 9;
-    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < *argc) {
-      ReportPath() = argv[++i];
+    if (take(&i, "--report", 8, &ReportPath())) continue;
+    if (take(&i, "--trace-out", 11, &TraceOutPath())) continue;
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+}
+
+// True when `flag` (e.g. "--check") is present; strips it from argv.
+inline bool ParseBoolFlag(int* argc, char** argv, const char* flag) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      found = true;
     } else {
       argv[out++] = argv[i];
     }
   }
   *argc = out;
+  return found;
+}
+
+// Exact comparison for the bit-identical gates: a scenario re-run with the
+// observability layer enabled (spans, tracing, flight recorder, sampler) must
+// reproduce every measured value to the last bit.
+inline bool SameMeasurement(const Measurement& a, const Measurement& b) {
+  return a.cpu_ms == b.cpu_ms && a.real_ms == b.real_ms && a.bytes_moved == b.bytes_moved;
+}
+
+// Turns every observation-only subsystem on. Virtual times must not move.
+inline void EnableAllInstrumentation(TestbedOptions* options) {
+  options->metrics = true;
+  options->trace = true;
+  options->spans = true;
+  options->flight_recorder = true;
+  options->sample_period = sim::Millis(50);
 }
 
 // Appends one raw JSONL line to the report file (no-op without --report).

@@ -110,7 +110,7 @@ void PrintTables() {
 }  // namespace pmig::bench
 
 int main(int argc, char** argv) {
-  pmig::bench::ParseReportFlag(&argc, argv);
+  pmig::bench::ParseBenchFlags(&argc, argv);
   pmig::bench::PrintTables();
   using pmig::bench::Measurement;
   pmig::bench::RegisterSim("fig1/open_close/original", [] {

@@ -13,11 +13,12 @@ namespace {
 
 enum class KillMode { kSigQuit, kSigDump, kDumpproc };
 
-Measurement MeasureKill(KillMode mode) {
+Measurement MeasureKill(KillMode mode, bool instrumented = false) {
   TestbedOptions options;
   options.num_hosts = 2;
   options.file_server_home = true;
   options.metrics = true;  // for bytes_moved; observation-only, times unchanged
+  if (instrumented) EnableAllInstrumentation(&options);
   Testbed world(options);
   InstallPaddedCounter(world);
   kernel::Kernel& k = world.host("brick");
@@ -61,7 +62,34 @@ Measurement MeasureKill(KillMode mode) {
 
 int main(int argc, char** argv) {
   using namespace pmig::bench;
-  ParseReportFlag(&argc, argv);
+  ParseBenchFlags(&argc, argv);
+
+  // --check: the bit-identical gate. Every scenario re-run with the whole
+  // observability layer on (trace, spans, flight recorder, sampler) must
+  // reproduce the plain run's measurements exactly.
+  if (ParseBoolFlag(&argc, argv, "--check")) {
+    int failures = 0;
+    const struct {
+      const char* name;
+      KillMode mode;
+    } cases[] = {{"sigquit", KillMode::kSigQuit},
+                 {"sigdump", KillMode::kSigDump},
+                 {"dumpproc", KillMode::kDumpproc}};
+    for (const auto& c : cases) {
+      const Measurement plain = MeasureKill(c.mode, false);
+      const Measurement instrumented = MeasureKill(c.mode, true);
+      const bool ok = SameMeasurement(plain, instrumented);
+      std::printf("fig2/%s: plain cpu=%.4f real=%.4f bytes=%lld | instrumented "
+                  "cpu=%.4f real=%.4f bytes=%lld -> %s\n",
+                  c.name, plain.cpu_ms, plain.real_ms,
+                  static_cast<long long>(plain.bytes_moved), instrumented.cpu_ms,
+                  instrumented.real_ms, static_cast<long long>(instrumented.bytes_moved),
+                  ok ? "IDENTICAL" : "MISMATCH");
+      failures += ok ? 0 : 1;
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
   const Measurement quit = MeasureKill(KillMode::kSigQuit);
   const Measurement dump = MeasureKill(KillMode::kSigDump);
   const Measurement tool = MeasureKill(KillMode::kDumpproc);

@@ -106,7 +106,7 @@ RestartSplit MeasureRestart() {
 
 int main(int argc, char** argv) {
   using namespace pmig::bench;
-  ParseReportFlag(&argc, argv);
+  ParseBenchFlags(&argc, argv);
   const Measurement execve = MeasureExecve();
   const Measurement rest_proc = MeasureRestProc();
   const RestartSplit restart = MeasureRestart();

@@ -28,18 +28,19 @@ const Placement kPlacements[] = {
     {"remote -> remote(R->R)", "schooner", "brador", "up to ~10x, ~half a minute"},
 };
 
-Testbed MakeWorld() {
+Testbed MakeWorld(bool instrumented = false) {
   TestbedOptions options;
   options.num_hosts = 3;  // brick (home), schooner, brador (also file server)
   options.file_server_home = true;
   options.metrics = true;  // for bytes_moved; observation-only, times unchanged
+  if (instrumented) EnableAllInstrumentation(&options);
   return Testbed(options);
 }
 
 // Baseline: dumpproc on the source machine, restart on the destination machine,
 // each run directly where it belongs.
-Measurement MeasureSeparate(const Placement& placement) {
-  Testbed world = MakeWorld();
+Measurement MeasureSeparate(const Placement& placement, bool instrumented = false) {
+  Testbed world = MakeWorld(instrumented);
   InstallPaddedCounter(world);
   const int32_t pid = StartBlockedCounter(world, placement.from);
 
@@ -62,12 +63,14 @@ Measurement MeasureSeparate(const Placement& placement) {
                      TotalBytesMoved(world) - bytes0};
 }
 
-Measurement MeasureMigrate(const Placement& placement, bool use_daemon) {
+Measurement MeasureMigrate(const Placement& placement, bool use_daemon,
+                           bool instrumented = false) {
   TestbedOptions options;
   options.num_hosts = 3;
   options.file_server_home = true;
   options.daemons = use_daemon;
   options.metrics = true;  // for bytes_moved; observation-only, times unchanged
+  if (instrumented) EnableAllInstrumentation(&options);
   Testbed world(options);
   InstallPaddedCounter(world);
   const int32_t pid = StartBlockedCounter(world, placement.from);
@@ -93,17 +96,19 @@ Measurement MeasureMigrate(const Placement& placement, bool use_daemon) {
 namespace pmig::bench {
 namespace {
 
-// With --report: one instrumented remote-to-remote migrate (metrics + spans on)
-// whose full cluster report — per-host metrics, spans, per-phase breakdown — is
-// appended to the report file. Run separately from the measured scenarios so the
-// figure numbers above stay bit-identical to an uninstrumented run.
+// With --report and/or --trace-out: one instrumented remote-to-remote migrate
+// (metrics, spans, tracing, flight recorder, sampler all on) whose full cluster
+// report — per-host metrics, spans with trace ids, per-phase and per-trace
+// breakdowns — is appended to the report file, and whose Chrome trace-event
+// timeline is written to the trace file (open it in Perfetto). Run separately
+// from the measured scenarios so the figure numbers above stay bit-identical to
+// an uninstrumented run.
 void AppendInstrumentedReport() {
-  if (ReportPath().empty()) return;
+  if (ReportPath().empty() && TraceOutPath().empty()) return;
   TestbedOptions options;
   options.num_hosts = 3;
   options.file_server_home = true;
-  options.metrics = true;
-  options.spans = true;
+  EnableAllInstrumentation(&options);
   Testbed world(options);
   InstallPaddedCounter(world);
   const int32_t pid = StartBlockedCounter(world, "schooner");
@@ -112,7 +117,8 @@ void AppendInstrumentedReport() {
       {"-p", std::to_string(pid), "-f", "schooner", "-t", "brador"}, kUserUid,
       world.console("brick"));
   world.RunUntilExited("brick", mig, sim::Seconds(600));
-  world.cluster().WriteReport(ReportPath());
+  if (!ReportPath().empty()) world.cluster().WriteReport(ReportPath());
+  if (!TraceOutPath().empty()) world.cluster().WriteChromeTrace(TraceOutPath());
 }
 
 }  // namespace
@@ -120,7 +126,32 @@ void AppendInstrumentedReport() {
 
 int main(int argc, char** argv) {
   using namespace pmig::bench;
-  ParseReportFlag(&argc, argv);
+  ParseBenchFlags(&argc, argv);
+
+  // --check: the bit-identical gate. Each placement re-run with the whole
+  // observability layer on (trace, spans, flight recorder, sampler) must
+  // reproduce the plain run's measurements exactly.
+  if (ParseBoolFlag(&argc, argv, "--check")) {
+    int failures = 0;
+    const auto compare = [&failures](const std::string& name, const Measurement& plain,
+                                     const Measurement& instrumented) {
+      const bool ok = SameMeasurement(plain, instrumented);
+      std::printf("fig4/%s: plain cpu=%.4f real=%.4f bytes=%lld | instrumented "
+                  "cpu=%.4f real=%.4f bytes=%lld -> %s\n",
+                  name.c_str(), plain.cpu_ms, plain.real_ms,
+                  static_cast<long long>(plain.bytes_moved), instrumented.cpu_ms,
+                  instrumented.real_ms, static_cast<long long>(instrumented.bytes_moved),
+                  ok ? "IDENTICAL" : "MISMATCH");
+      failures += ok ? 0 : 1;
+    };
+    compare("separate", MeasureSeparate(kPlacements[0], false),
+            MeasureSeparate(kPlacements[0], true));
+    for (const Placement& placement : kPlacements) {
+      compare("migrate " + placement.name, MeasureMigrate(placement, false, false),
+              MeasureMigrate(placement, false, true));
+    }
+    return failures == 0 ? 0 : 1;
+  }
 
   std::vector<Row> rows;
   // One shared baseline, as in the figure: the separate dumpproc/restart pair.

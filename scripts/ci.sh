@@ -26,4 +26,8 @@ echo "== phase-drift gate =="
 echo "== placement gate =="
 ./build/bench/ablation_placement --check
 
+echo "== observability bit-identical gates =="
+./build/bench/fig2_dump --check
+./build/bench/fig4_migrate --check
+
 echo "ci: all green"

@@ -137,6 +137,12 @@ Result<int32_t> RestartStagedDump(kernel::SyscallApi& api, int32_t pid) {
 Result<CheckpointResult> TakeCheckpoint(kernel::SyscallApi& api, int32_t pid,
                                         const std::string& dir, int index,
                                         bool incremental) {
+  // Checkpointing runs under a distributed trace too: the checkpointer mints
+  // an id on its first checkpoint and every dump span joins it.
+  kernel::Proc& self = api.proc();
+  if (self.trace_id == 0 && api.kernel().spans() != nullptr) {
+    self.trace_id = api.kernel().spans()->MintTraceId();
+  }
   if (core::Dumpproc(api, pid, /*tx=*/false, incremental) != 0) return Errno::kSrch;
   const DumpPaths paths = DumpPaths::For(pid);
 

@@ -120,6 +120,8 @@ std::vector<CandidateScore> PlacementEngine::Score(const PlacementQuery& query) 
     if (UsesCostSignal() && from != nullptr && query.pid >= 0) {
       s.est_bytes = EstimatedBytes(*from, *host, query.pid);
       s.wire_history = WireHistory(*net_, query.from_host, s.host);
+      const sim::Histogram* restarts = host->metrics().FindHistogram("migration.restart_ns");
+      if (restarts != nullptr) s.est_restart_ns = restarts->Percentile(50);
     }
     if (history != nullptr) s.fault_score = history->Score(s.host);
     s.fault_excluded = UsesFaultSignal() && s.fault_score >= query.fault_threshold;
@@ -139,6 +141,11 @@ bool PlacementEngine::Beats(const CandidateScore& better,
   }
   if (UsesCostSignal() && better.wire_history != incumbent.wire_history) {
     return better.wire_history > incumbent.wire_history;  // prefer the warm path
+  }
+  // Last resort: the histogram-backed restart-latency record. Deliberately the
+  // weakest signal — it only decides when every structural signal ties.
+  if (UsesCostSignal() && better.est_restart_ns != incumbent.est_restart_ns) {
+    return better.est_restart_ns < incumbent.est_restart_ns;
   }
   return false;  // equal: the incumbent (earlier in network order) keeps the slot
 }

@@ -68,6 +68,11 @@ struct CandidateScore {
   int load = 0;             // runnable VM processes (HostLoad)
   int64_t est_bytes = 0;    // estimated dump payload the wire would carry
   int64_t wire_history = 0; // net.bytes between from_host and this host, both ways
+  // Observed restart latency on this host: the p50 of its migration.restart_ns
+  // histogram (0 with metrics off or no restarts yet). A host that has been
+  // restarting processes slowly — cold caches, slow disk under the cost model —
+  // loses ties to one with a faster record.
+  sim::Nanos est_restart_ns = 0;
   double fault_score = 0;   // decayed failure weight (0 when no history exists)
   bool fault_excluded = false;  // over the threshold under this policy
 };

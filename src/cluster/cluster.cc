@@ -5,14 +5,21 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <utility>
 
+#include "src/core/dump_format.h"
+
 namespace pmig::cluster {
 
-Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)), recorder_(&clock_, config_.flight_recorder_capacity) {
   trace_.set_enabled(config_.enable_trace);
   spans_.set_enabled(config_.enable_spans);
+  recorder_.set_enabled(config_.enable_flight_recorder);
+  recorder_.set_output_dir(config_.postmortem_dir);
+  spans_.set_flight_recorder(&recorder_);
   faults_ = std::make_unique<sim::FaultInjector>(config_.faults, &clock_);
   network_ = std::make_unique<net::Network>(&config_.costs);
   Boot();
@@ -30,6 +37,7 @@ void Cluster::Boot() {
     k->set_program_registry(&programs_);
     k->metrics().set_enabled(config_.enable_metrics);
     k->set_span_log(&spans_);
+    k->set_flight_recorder(&recorder_);
     k->set_fault_injector(faults_.get());
     network_->AddHost(k.get());
     hosts_.push_back(std::move(k));
@@ -74,6 +82,12 @@ void Cluster::Boot() {
     }
   }
 
+  // Time-series sampler: snapshots are taken from Step() (see below) rather
+  // than from a clock timer — a timer would add deadlines to the clock and
+  // change how the run loops fast-forward through idle gaps, perturbing
+  // virtual times. Piggybacking on Step() is provably timing-neutral.
+  if (config_.sample_period > 0) next_sample_at_ = config_.sample_period;
+
   if (config_.start_migration_daemons) {
     for (auto& k : hosts_) {
       auto service = std::make_unique<net::SpawnService>();
@@ -107,12 +121,50 @@ void Cluster::SetHostDown(std::string_view name, bool down) {
   host(name).set_down(down);
 }
 
+int64_t Cluster::SegcacheBytes(kernel::Kernel& k) {
+  auto r = k.vfs().Resolve(k.vfs().RootState(), core::kSegCacheDir, vfs::Follow::kAll, nullptr);
+  if (!r.ok() || !r->inode->IsDir()) return 0;
+  int64_t total = 0;
+  for (const auto& [name, child] : r->inode->entries) {
+    if (child != nullptr && child->IsRegular()) total += child->size();
+  }
+  return total;
+}
+
+void Cluster::TakeSample() {
+  for (auto& k : hosts_) {
+    LoadSample s;
+    s.at = clock_.now();
+    s.host = k->hostname();
+    s.down = k->down();
+    if (!s.down) {
+      for (kernel::Proc* p : k->ListProcs()) {
+        if (p->kind == kernel::ProcKind::kVm && p->state == kernel::ProcState::kRunnable) {
+          ++s.runnable;
+        }
+      }
+      s.segcache_bytes = SegcacheBytes(*k);
+    }
+    s.fault_score = fault_history_.Score(k->hostname());
+    samples_.push_back(std::move(s));
+  }
+}
+
 bool Cluster::Step() {
   bool ran = false;
   for (auto& k : hosts_) {
     ran |= k->RunQuantum();
   }
   clock_.Advance(config_.costs.quantum);
+  // Sampler: reads state only, never the clock's deadline queue, so an armed
+  // sampler leaves every virtual time bit-identical. After a long idle
+  // fast-forward the catch-up loop takes one sample, not a burst.
+  if (next_sample_at_ > 0 && clock_.now() >= next_sample_at_) {
+    TakeSample();
+    do {
+      next_sample_at_ += config_.sample_period;
+    } while (next_sample_at_ <= clock_.now());
+  }
   // A timer firing during the trailing Advance (a sleep expiring, a timeout
   // waking a blocked waiter) can make a process runnable after every kernel
   // already took its quantum. That is still work: reporting false here would
@@ -206,8 +258,18 @@ void WriteMetricsLines(std::ostream& out, const std::string& host,
   for (const auto& [name, hist] : m.histograms()) {
     out << "{\"type\":\"histogram\",\"host\":\"" << sim::JsonEscape(host) << "\",\"name\":\""
         << sim::JsonEscape(name) << "\",\"count\":" << hist.count << ",\"sum_ns\":" << hist.sum
-        << ",\"min_ns\":" << hist.min << ",\"max_ns\":" << hist.max << "}\n";
+        << ",\"min_ns\":" << hist.min << ",\"max_ns\":" << hist.max
+        << ",\"p50_ns\":" << hist.Percentile(50) << ",\"p95_ns\":" << hist.Percentile(95)
+        << ",\"p99_ns\":" << hist.Percentile(99) << "}\n";
   }
+}
+
+// Microseconds with nanosecond precision, the unit Chrome trace "ts" expects.
+std::string TraceMicros(sim::Nanos ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld", static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
 }
 
 }  // namespace
@@ -229,7 +291,8 @@ void Cluster::WriteReport(std::ostream& out) const {
     out << "{\"type\":\"span\",\"id\":" << s.id << ",\"phase\":\"" << sim::JsonEscape(s.phase)
         << "\",\"host\":\"" << sim::JsonEscape(s.host) << "\",\"pid\":" << s.pid
         << ",\"begin_ns\":" << s.begin << ",\"end_ns\":" << s.end
-        << ",\"dur_ns\":" << s.duration() << "}\n";
+        << ",\"dur_ns\":" << s.duration() << ",\"trace_id\":" << s.trace_id
+        << ",\"parent_id\":" << s.parent_id << "}\n";
   }
 
   // Phase summary: self time per phase. The "migrate" root's self time is the
@@ -248,12 +311,156 @@ void Cluster::WriteReport(std::ostream& out) const {
     out << "\"" << sim::JsonEscape(phase == "migrate" ? "other" : phase) << "\":" << ns;
   }
   out << "}}\n";
+
+  // Per-trace summaries: each causal migration gets its end-to-end time, the
+  // per-phase self times of its (possibly cross-host) span tree, and the
+  // critical path — the chain of largest children from the root down.
+  for (const uint64_t trace_id : spans_.TraceIds()) {
+    const sim::SpanRecord* root = spans_.TraceRoot(trace_id);
+    if (root == nullptr) continue;
+    out << "{\"type\":\"trace_summary\",\"trace_id\":" << trace_id << ",\"root_phase\":\""
+        << sim::JsonEscape(root->phase) << "\",\"root_host\":\"" << sim::JsonEscape(root->host)
+        << "\",\"total_ns\":" << root->duration() << ",\"phases\":{";
+    bool first_phase = true;
+    for (const auto& [phase, ns] : spans_.TraceSelfTimes(trace_id)) {
+      if (!first_phase) out << ",";
+      first_phase = false;
+      out << "\"" << sim::JsonEscape(phase) << "\":" << ns;
+    }
+    out << "},\"critical_path\":[";
+    const sim::SpanRecord* node = root;
+    bool first_hop = true;
+    while (node != nullptr) {
+      if (!first_hop) out << ",";
+      first_hop = false;
+      out << "{\"phase\":\"" << sim::JsonEscape(node->phase) << "\",\"host\":\""
+          << sim::JsonEscape(node->host) << "\",\"dur_ns\":" << node->duration() << "}";
+      const sim::SpanRecord* widest = nullptr;
+      for (const sim::SpanRecord& s : spans_.spans()) {
+        if (!s.closed() || s.trace_id != trace_id || s.parent_id != node->id) continue;
+        if (widest == nullptr || s.duration() > widest->duration()) widest = &s;
+      }
+      node = widest;
+    }
+    out << "]}\n";
+  }
+
+  // Time-series samples (present only when the sampler was armed).
+  for (const LoadSample& s : samples_) {
+    out << "{\"type\":\"sample\",\"t_ns\":" << s.at << ",\"host\":\"" << sim::JsonEscape(s.host)
+        << "\",\"down\":" << (s.down ? "true" : "false") << ",\"runnable\":" << s.runnable
+        << ",\"segcache_bytes\":" << s.segcache_bytes << ",\"fault_score\":" << s.fault_score
+        << "}\n";
+  }
+
+  // One summary line per flight-recorder post-mortem (the full ring snapshots
+  // live in FlightRecorder::postmortems() and the POSTMORTEM_<n>.jsonl files).
+  for (const sim::FlightRecorder::Postmortem& pm : recorder_.postmortems()) {
+    out << "{\"type\":\"postmortem\",\"t_ns\":" << pm.at << ",\"host\":\""
+        << sim::JsonEscape(pm.host) << "\",\"trace_id\":" << pm.trace_id << ",\"reason\":\""
+        << sim::JsonEscape(pm.reason) << "\"}\n";
+  }
 }
 
 bool Cluster::WriteReport(const std::string& path) const {
   std::ofstream out(path, std::ios::app);
   if (!out) return false;
   WriteReport(out);
+  return out.good();
+}
+
+void Cluster::WriteChromeTrace(std::ostream& out) const {
+  // Host name -> Chrome "process" id. One track per host; each simulated pid is
+  // a "thread" on its host's track, so nested phase spans render as a flame.
+  std::map<std::string, int> host_pid;
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    host_pid[hosts_[i]->hostname()] = static_cast<int>(i);
+  }
+
+  std::vector<std::string> events;
+  for (const auto& [hostname, idx] : host_pid) {
+    events.push_back("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(idx) +
+                     ",\"tid\":0,\"args\":{\"name\":\"" + sim::JsonEscape(hostname) + "\"}}");
+  }
+
+  std::map<std::pair<int, int32_t>, std::vector<const sim::SpanRecord*>> threads;
+  for (const sim::SpanRecord& s : spans_.spans()) {
+    if (!s.closed()) continue;
+    auto it = host_pid.find(s.host);
+    if (it == host_pid.end()) continue;
+    threads[{it->second, s.pid}].push_back(&s);
+  }
+
+  // B/E duration events per thread. Spans on one pid either nest or are
+  // disjoint in virtual time, so sorting parents first (earlier begin, then
+  // later end) and keeping a stack of open spans — closing every span that ends
+  // at or before the next begin — yields a B/E stream where every End matches
+  // the innermost open Begin.
+  for (auto& [key, spans] : threads) {
+    const int pid = key.first;
+    const int32_t tid = key.second;
+    std::sort(spans.begin(), spans.end(),
+              [](const sim::SpanRecord* a, const sim::SpanRecord* b) {
+                if (a->begin != b->begin) return a->begin < b->begin;
+                if (a->end != b->end) return a->end > b->end;
+                return a->id < b->id;
+              });
+    std::vector<const sim::SpanRecord*> open;
+    auto emit_end = [&events, pid, tid](const sim::SpanRecord* s) {
+      events.push_back("{\"ph\":\"E\",\"pid\":" + std::to_string(pid) +
+                       ",\"tid\":" + std::to_string(tid) + ",\"ts\":" + TraceMicros(s->end) + "}");
+    };
+    for (const sim::SpanRecord* s : spans) {
+      while (!open.empty() && open.back()->end <= s->begin) {
+        emit_end(open.back());
+        open.pop_back();
+      }
+      events.push_back("{\"name\":\"" + sim::JsonEscape(s->phase) + "\",\"ph\":\"B\",\"pid\":" +
+                       std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+                       ",\"ts\":" + TraceMicros(s->begin) +
+                       ",\"args\":{\"span_id\":" + std::to_string(s->id) +
+                       ",\"trace_id\":" + std::to_string(s->trace_id) +
+                       ",\"parent_id\":" + std::to_string(s->parent_id) + "}}");
+      open.push_back(s);
+    }
+    while (!open.empty()) {
+      emit_end(open.back());
+      open.pop_back();
+    }
+  }
+
+  // Flow arrows: a span whose parent closed on a *different* host is the far
+  // side of a cross-machine hop (rsh command, daemon spawn, remote restart) —
+  // draw source -> target so Perfetto connects the two tracks.
+  for (const sim::SpanRecord& s : spans_.spans()) {
+    if (!s.closed() || s.parent_id == 0) continue;
+    const sim::SpanRecord* parent = spans_.Find(s.parent_id);
+    if (parent == nullptr || !parent->closed() || parent->host == s.host) continue;
+    auto pit = host_pid.find(parent->host);
+    auto cit = host_pid.find(s.host);
+    if (pit == host_pid.end() || cit == host_pid.end()) continue;
+    const std::string id = std::to_string(s.id);
+    const std::string ts = TraceMicros(s.begin);
+    events.push_back("{\"name\":\"migrate\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":" + id +
+                     ",\"pid\":" + std::to_string(pit->second) +
+                     ",\"tid\":" + std::to_string(parent->pid) + ",\"ts\":" + ts + "}");
+    events.push_back("{\"name\":\"migrate\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" +
+                     id + ",\"pid\":" + std::to_string(cit->second) +
+                     ",\"tid\":" + std::to_string(s.pid) + ",\"ts\":" + ts + "}");
+  }
+
+  // One event per line (tests and grep-ability); valid JSON either way.
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    out << events[i] << (i + 1 == events.size() ? "\n" : ",\n");
+  }
+  out << "]}\n";
+}
+
+bool Cluster::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  WriteChromeTrace(out);
   return out.good();
 }
 

@@ -22,6 +22,7 @@
 #include "src/sim/cost_model.h"
 #include "src/sim/fault.h"
 #include "src/sim/fault_history.h"
+#include "src/sim/flight_recorder.h"
 #include "src/sim/metrics.h"
 #include "src/sim/span.h"
 #include "src/sim/trace.h"
@@ -43,9 +44,32 @@ struct ClusterConfig {
   // virtual-time results are bit-identical to an uninstrumented build).
   bool enable_metrics = false;  // per-host counter/gauge/histogram registries
   bool enable_spans = false;    // migration phase spans (cluster-wide log)
+  // Flight recorder: per-host bounded rings of recent trace/span events that
+  // auto-dump a JSONL post-mortem when a migrate fails, falls back, or the
+  // kernel aborts a dump. Pure bookkeeping — no virtual time, no RNG.
+  bool enable_flight_recorder = false;
+  size_t flight_recorder_capacity = 256;  // events retained per host
+  // Post-mortems are also written as POSTMORTEM_<n>.jsonl files here (real
+  // filesystem) when non-empty; they always stay readable in memory.
+  std::string postmortem_dir;
+  // Time-series sampler: at least every `sample_period` of virtual time (checked
+  // from the lockstep Step(), never via a clock timer, so sampling cannot perturb
+  // virtual times), snapshot each host's runnable load, segment-cache bytes, and
+  // fault score into the run report. 0 (the default) disables sampling.
+  sim::Nanos sample_period = 0;
   // Deterministic fault injection (inert by default; when disabled no RNG is
   // consumed, no timers are armed, and results stay bit-identical).
   sim::FaultConfig faults;
+};
+
+// One sampler snapshot of one host.
+struct LoadSample {
+  sim::Nanos at = 0;
+  std::string host;
+  bool down = false;
+  int runnable = 0;            // runnable VM processes
+  int64_t segcache_bytes = 0;  // bytes held by /var/segcache
+  double fault_score = 0.0;    // decayed FaultHistory score
 };
 
 class Cluster {
@@ -65,6 +89,9 @@ class Cluster {
   sim::TraceLog& trace() { return trace_; }
   sim::SpanLog& spans() { return spans_; }
   const sim::SpanLog& spans() const { return spans_; }
+  sim::FlightRecorder& flight_recorder() { return recorder_; }
+  const sim::FlightRecorder& flight_recorder() const { return recorder_; }
+  const std::vector<LoadSample>& samples() const { return samples_; }
   const sim::CostModel& costs() const { return config_.costs; }
   kernel::ProgramRegistry& programs() { return programs_; }
 
@@ -101,6 +128,12 @@ class Cluster {
   // Convenience: appends the report to `path` on the real filesystem. False on
   // open failure.
   bool WriteReport(const std::string& path) const;
+  // Chrome trace-event JSON (loads in Perfetto / chrome://tracing): one track
+  // per host, nested B/E phase slices per process, s/f flow arrows where a
+  // span's parent lives on a different host. Only closed spans are emitted.
+  void WriteChromeTrace(std::ostream& out) const;
+  // Convenience: writes (truncates) `path` on the real filesystem.
+  bool WriteChromeTrace(const std::string& path) const;
 
  private:
   void Boot();
@@ -108,11 +141,16 @@ class Cluster {
   // quantum (machines are parallel hardware). Returns true if anything ran.
   bool Step();
   bool AnyTimedWork() const;
+  void TakeSample();
+  static int64_t SegcacheBytes(kernel::Kernel& k);
 
   ClusterConfig config_;
   sim::VirtualClock clock_;
   sim::TraceLog trace_;
   sim::SpanLog spans_{&clock_, &trace_};
+  sim::FlightRecorder recorder_{&clock_};
+  std::vector<LoadSample> samples_;
+  sim::Nanos next_sample_at_ = 0;  // next sampler due time (0 = sampler off)
   kernel::ProgramRegistry programs_;
   std::unique_ptr<sim::FaultInjector> faults_;
   sim::FaultHistory fault_history_{&clock_};

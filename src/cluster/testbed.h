@@ -25,6 +25,13 @@ struct TestbedOptions {
   bool trace = false;
   bool metrics = false;  // per-host MetricsRegistry instances
   bool spans = false;    // migration phase spans
+  // Flight recorder: bounded per-host event rings that dump a post-mortem when
+  // a migrate fails or falls back (see ClusterConfig::enable_flight_recorder).
+  bool flight_recorder = false;
+  // Arm the virtual-time load sampler with this period (0 = off).
+  sim::Nanos sample_period = 0;
+  // When non-empty, post-mortems are also written here as real files.
+  std::string postmortem_dir;
   // Incremental data path: arm dirty-page tracking at exec so dumpproc
   // --incremental / migrate --cached can emit delta dumps.
   bool dirty_tracking = false;
@@ -68,6 +75,9 @@ class Testbed {
     config.enable_trace = options.trace;
     config.enable_metrics = options.metrics;
     config.enable_spans = options.spans;
+    config.enable_flight_recorder = options.flight_recorder;
+    config.sample_period = options.sample_period;
+    config.postmortem_dir = options.postmortem_dir;
     config.faults = options.faults;
     cluster_ = std::make_unique<cluster::Cluster>(std::move(config));
     core::InstallMigration(*cluster_);

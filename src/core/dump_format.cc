@@ -9,7 +9,7 @@
 namespace pmig::core {
 
 namespace {
-constexpr uint32_t kStackFormatVersion = 2;  // v2 added the identity extension
+constexpr uint32_t kStackFormatVersion = 3;  // v2: identity extension; v3: trace id
 }
 
 std::string FilesFile::Serialize() const {
@@ -71,6 +71,8 @@ std::string StackFile::Serialize() const {
   // v2 extension.
   w.I32(old_pid);
   w.Str(old_host);
+  // v3 extension.
+  w.U64(trace_id);
   return w.Take();
 }
 
@@ -96,6 +98,9 @@ Result<StackFile> StackFile::Parse(const std::string& bytes) {
   if (version >= 2) {
     s.old_pid = r.I32();
     s.old_host = r.Str();
+  }
+  if (version >= 3) {
+    s.trace_id = r.U64();
   }
   if (!r.ok()) return Errno::kNoExec;
   return s;

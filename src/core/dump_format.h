@@ -55,6 +55,9 @@ struct StackFile {
   // Extension block (version >= 2): pre-migration identity.
   int32_t old_pid = 0;
   std::string old_host;
+  // Extension (version >= 3): the distributed trace this dump belongs to, so a
+  // restart on another host rejoins the originating migrate's span tree.
+  uint64_t trace_id = 0;
 
   uint32_t stack_size() const { return static_cast<uint32_t>(stack.size()); }
 

@@ -203,6 +203,9 @@ Status RestProcImpl(kernel::Kernel& k, kernel::Proc& p, const std::string& aout_
   p.migrated = true;
   p.old_pid = stack.old_pid;
   p.old_host = stack.old_host;
+  // Rejoin the trace the dump was taken under (a restart tool invoked outside
+  // any trace — e.g. undump by hand — adopts the dump's id).
+  if (p.trace_id == 0) p.trace_id = stack.trace_id;
   p.command = vfs::Basename(aout_path) + " (migrated)";
   return Status::Ok();
 }

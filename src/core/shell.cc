@@ -1,5 +1,6 @@
 #include "src/core/shell.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -40,8 +41,49 @@ void PstatBuiltin(kernel::SyscallApi& api) {
     }
     for (const auto& [name, hist] : m.histograms()) {
       out += "  histogram " + name + ": count=" + std::to_string(hist.count) +
-             " mean_ns=" + std::to_string(hist.Mean()) + " max_ns=" + std::to_string(hist.max) +
-             "\n";
+             " p50_ns=" + std::to_string(hist.Percentile(50)) +
+             " p95_ns=" + std::to_string(hist.Percentile(95)) +
+             " p99_ns=" + std::to_string(hist.Percentile(99)) +
+             " max_ns=" + std::to_string(hist.max) + "\n";
+    }
+  }
+  Say(api, out);
+}
+
+// ptop: the processes burning this machine's CPU, busiest first, plus the
+// migration latency records — the interactive view an admin deciding "should
+// this process move, and where" actually wants.
+void PtopBuiltin(kernel::SyscallApi& api) {
+  kernel::Kernel& k = api.kernel();
+  std::vector<kernel::Proc*> procs = k.ListProcs();
+  auto cpu_of = [](const kernel::Proc* p) { return p->utime + p->stime; };
+  std::sort(procs.begin(), procs.end(),
+            [&cpu_of](const kernel::Proc* a, const kernel::Proc* b) {
+              if (cpu_of(a) != cpu_of(b)) return cpu_of(a) > cpu_of(b);
+              return a->pid < b->pid;
+            });
+  std::string out = k.hostname() + ": pid cpu_ms state command\n";
+  for (const kernel::Proc* p : procs) {
+    if (!p->Alive()) continue;
+    const char* state = p->state == kernel::ProcState::kRunnable   ? "run"
+                       : p->state == kernel::ProcState::kSleeping  ? "sleep"
+                       : p->state == kernel::ProcState::kBlocked   ? "block"
+                                                                   : "other";
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %5d %8lld %-5s %s\n", p->pid,
+                  static_cast<long long>((p->utime + p->stime) / 1000000), state,
+                  p->command.c_str());
+    out += line;
+  }
+  const sim::MetricsRegistry& m = k.metrics();
+  if (m.enabled()) {
+    for (const char* name : {"migration.dump_ns", "migration.restart_ns"}) {
+      const sim::Histogram* hist = m.FindHistogram(name);
+      if (hist == nullptr || hist->count == 0) continue;
+      out += std::string("  ") + name + ": count=" + std::to_string(hist->count) +
+             " p50_ns=" + std::to_string(hist->Percentile(50)) +
+             " p95_ns=" + std::to_string(hist->Percentile(95)) +
+             " p99_ns=" + std::to_string(hist->Percentile(99)) + "\n";
     }
   }
   Say(api, out);
@@ -184,9 +226,14 @@ int ShellMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {
       PstatBuiltin(api);
       continue;
     }
+    if (cmd == "ptop") {
+      PtopBuiltin(api);
+      continue;
+    }
     if (cmd == "help") {
       Say(api,
-          "built-ins: cd pwd jobs pstat exit help; commands run from the registry or /bin\n");
+          "built-ins: cd pwd jobs pstat ptop exit help; commands run from the registry or "
+          "/bin\n");
       continue;
     }
     RunCommand(api, tokens, background, &jobs);

@@ -161,6 +161,11 @@ int Dumpproc(kernel::SyscallApi& api, int32_t pid, bool tx, bool incremental) {
   // unsuccessful attempt (aborting after ten). The kernel's own "dump" span
   // nests inside this one, so the signal phase's self time is the kill plus the
   // retry-sleep slack.
+  kernel::Proc& self = api.proc();
+  if (self.trace_id == 0 && api.kernel().spans() != nullptr) {
+    // Invoked by hand rather than by migrate: start a trace of our own.
+    self.trace_id = api.kernel().spans()->MintTraceId();
+  }
   const DumpPaths paths = DumpPaths::For(pid);
   if (tx && FileExists(api, paths.ready)) return kToolOk;  // rerun after success
   if (incremental) {
@@ -175,8 +180,7 @@ int Dumpproc(kernel::SyscallApi& api, int32_t pid, bool tx, bool incremental) {
   }
   bool appeared = false;
   {
-    sim::SpanScope signal_phase(api.kernel().spans(), "signal", api.kernel().hostname(),
-                                api.pid());
+    kernel::TraceSpan signal_phase(api.kernel(), self, "signal");
     const Status killed = api.Kill(pid, vm::abi::kSigDump);
     if (!killed.ok()) {
       // In a retried transaction the process may have dumped already (an
@@ -251,6 +255,13 @@ int Dumpproc(kernel::SyscallApi& api, int32_t pid, bool tx, bool incremental) {
 
 int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host,
             bool claim) {
+  kernel::Proc& self = api.proc();
+  if (self.trace_id == 0 && api.kernel().spans() != nullptr) {
+    // Invoked by hand (not through migrate, which threads its context in via
+    // the spawn): start a trace of our own. rest_proc() still adopts the
+    // dump's stamped id when ours is 0 — i.e. when spans are disabled.
+    self.trace_id = api.kernel().spans()->MintTraceId();
+  }
   std::string dir = "/usr/tmp";
   if (!dump_host.empty() && dump_host != api.GetHostname()) {
     dir = "/n/" + dump_host + "/usr/tmp";
@@ -262,8 +273,7 @@ int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host,
   Result<StackFile> stack = Errno::kNoEnt;
   Result<FilesFile> files = Errno::kNoEnt;
   {
-    sim::SpanScope transfer_phase(api.kernel().spans(), "transfer", api.kernel().hostname(),
-                                  api.pid());
+    kernel::TraceSpan transfer_phase(api.kernel(), self, "transfer");
 
     // Verify that the three files exist and have the correct format.
     const Result<int> fd = api.Open(paths.aout, OpenFlags::kORdOnly);
@@ -468,20 +478,41 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
       from_host == local ? std::string("/usr/tmp") : "/n/" + from_host + "/usr/tmp";
   const DumpPaths dump_paths = DumpPaths::For(pid, dump_dir);
   sim::SpanLog* spans = api.kernel().spans();
+  kernel::Proc& self = api.proc();
+  if (self.trace_id == 0 && spans != nullptr) {
+    // Every migrate is one distributed trace: the id travels with every remote
+    // command (rsh/daemon spawn options), onto the SIGDUMP victim, and into
+    // the dump metadata, so spans on every host reassemble into one tree.
+    self.trace_id = spans->MintTraceId();
+  }
+  // Failures/fallbacks are tagged with the trace id and failing phase — the
+  // same pair the flight-recorder post-mortems carry, so a complaint greps
+  // straight to its post-mortem.
+  auto tag = [&self](const char* phase) {
+    return " [trace=" + std::to_string(self.trace_id) + " phase=" + phase + "]";
+  };
+  sim::FlightRecorder* recorder = api.kernel().flight_recorder();
+  auto postmortem = [&](const char* phase, const std::string& reason) {
+    if (recorder != nullptr && recorder->enabled()) {
+      recorder->Dump(local, self.trace_id, reason + " phase=" + phase);
+    }
+  };
   // Root span for the whole command; its self time (network round trips, waits on
   // the remote tools) is reported as "other" in the run report.
-  sim::SpanScope total(spans, "migrate", local, api.pid());
+  kernel::TraceSpan total(api.kernel(), self, "migrate");
 
   std::vector<std::string> dump_args = {"-p", pid_str};
   if (opts.transactional) dump_args.push_back("--tx");
   if (opts.cached) dump_args.push_back("--incremental");
   Result<int> rc = Errno::kIo;
   {
-    sim::SpanScope phase(spans, "dump", local, api.pid());
+    kernel::TraceSpan phase(api.kernel(), self, "dump");
     rc = run_leg(from_host, "dumpproc", dump_args);
   }
   if (!rc.ok() || *rc != 0) {
-    Complain(api, "migrate: dumpproc on " + from_host + " failed (" + describe(rc) + ")");
+    Complain(api, "migrate: dumpproc on " + from_host + " failed (" + describe(rc) + ")" +
+                      tag("dump"));
+    postmortem("dump", "dumpproc on " + from_host + " failed (" + describe(rc) + ")");
     if (opts.transactional) CleanupDumpFiles(api, dump_paths);
     return rc.ok() ? *rc : kTransportFailure;
   }
@@ -489,7 +520,7 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
   std::vector<std::string> restart_args = {"-p", pid_str, "-h", from_host};
   if (opts.transactional) restart_args.push_back("--claim");
   {
-    sim::SpanScope phase(spans, "restart", local, api.pid());
+    kernel::TraceSpan phase(api.kernel(), self, "restart");
     rc = run_leg(to_host, "restart", restart_args);
   }
   if (rc.ok() && *rc == 0) {
@@ -505,7 +536,9 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
     return kToolOk;
   }
   if (!opts.transactional) {
-    Complain(api, "migrate: restart on " + to_host + " failed (" + describe(rc) + ")");
+    Complain(api, "migrate: restart on " + to_host + " failed (" + describe(rc) + ")" +
+                      tag("restart"));
+    postmortem("restart", "restart on " + to_host + " failed (" + describe(rc) + ")");
     return rc.ok() ? *rc : kTransportFailure;
   }
 
@@ -515,22 +548,31 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
   // that loses its subject. Only after a fallback restart is alive may the
   // dump files be declared garbage.
   Complain(api, "migrate: restart on " + to_host + " failed (" + describe(rc) +
-                    "); restarting on " + from_host);
+                    "); restarting on " + from_host + tag("restart"));
+  postmortem("restart", "restart on " + to_host + " failed (" + describe(rc) +
+                            "); falling back to " + from_host);
   if (!FileExists(api, dump_paths.aout) || !FileExists(api, dump_paths.files) ||
       !FileExists(api, dump_paths.stack)) {
-    Complain(api, "migrate: dump files for " + pid_str + " are gone; cannot fall back");
+    Complain(api, "migrate: dump files for " + pid_str + " are gone; cannot fall back" +
+                      tag("fallback"));
+    postmortem("fallback", "dump files for " + pid_str + " are gone; cannot fall back");
     return kToolFail;
   }
-  sim::SpanScope phase(spans, "restart", local, api.pid());
+  kernel::TraceSpan phase(api.kernel(), self, "restart");
   rc = run_leg(from_host, "restart",
                {"-p", pid_str, "-h", from_host, "--claim"});
   if (rc.ok() && (*rc == 0 || *rc == kToolClaimed)) {
     metrics.Inc("migrate.fallback_restarts");
+    postmortem("fallback", "migrate of " + pid_str + " fell back; process restarted on " +
+                               from_host);
     if (*rc == kToolClaimed) api.Sleep(sim::Seconds(1));
     CleanupDumpFiles(api, dump_paths);
     return kMigrateFellBack;
   }
-  Complain(api, "migrate: fallback restart on " + from_host + " failed (" + describe(rc) + ")");
+  Complain(api, "migrate: fallback restart on " + from_host + " failed (" + describe(rc) +
+                    ")" + tag("fallback"));
+  postmortem("fallback",
+             "fallback restart on " + from_host + " failed (" + describe(rc) + ")");
   if (rc.ok()) {
     // The tool ran and rejected the dump set — it is unconsumable (corrupted,
     // truncated), so keeping it helps nobody; sweep it up.

@@ -86,6 +86,8 @@ Proc& Kernel::NewProc(std::string command, ProcKind kind, const SpawnOptions& op
   p.creds = opts.creds;
   p.controlling_tty = opts.tty;
   p.start_time = clock_->now();
+  p.trace_id = opts.trace_id;
+  p.trace_parent_span = opts.trace_parent_span;
   InitProcCwd(p, opts.cwd);
   procs_.push_back(std::move(owned));
   apis_[p.pid] = std::make_unique<SyscallApi>(this, p.pid);
@@ -501,8 +503,33 @@ Status Kernel::OverlayVmImage(Proc& p, const vm::AoutImage& image,
 }
 
 void Kernel::Trace(sim::TraceCategory cat, int32_t pid, std::string text) {
+  // Migration/signal events mirror into the flight recorder's per-host ring
+  // (when one is wired up) even while the textual trace log is off: the
+  // recorder exists precisely for runs too long to keep a full trace.
+  if (recorder_ != nullptr && recorder_->enabled() &&
+      (cat == sim::TraceCategory::kMigration || cat == sim::TraceCategory::kSignal)) {
+    const Proc* p = FindProc(pid);
+    recorder_->Note(hostname_, pid, p != nullptr ? p->trace_id : 0, text);
+  }
   if (trace_ == nullptr || !trace_->enabled()) return;
   trace_->Add(sim::TraceEvent{clock_->now(), cat, hostname_, pid, std::move(text)});
+}
+
+TraceSpan::TraceSpan(Kernel& kernel, Proc& p, std::string phase)
+    : log_(kernel.spans()), proc_(&p) {
+  if (log_ == nullptr) return;
+  id_ = log_->Begin(std::move(phase), kernel.hostname(), p.pid, p.trace_id,
+                    p.trace_parent_span);
+  if (id_ != 0) {
+    saved_parent_ = p.trace_parent_span;
+    p.trace_parent_span = id_;
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (id_ == 0) return;
+  log_->End(id_);
+  proc_->trace_parent_span = saved_parent_;
 }
 
 }  // namespace pmig::kernel

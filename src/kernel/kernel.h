@@ -31,6 +31,7 @@
 #include "src/kernel/tty.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
+#include "src/sim/flight_recorder.h"
 #include "src/sim/metrics.h"
 #include "src/sim/result.h"
 #include "src/sim/span.h"
@@ -141,6 +142,11 @@ struct SpawnOptions {
   // Attach fds 0/1/2 to `tty` (like login would). fork() copies the parent's fd
   // table instead and disables this.
   bool stdio_on_tty = true;
+  // Distributed-trace context the new process starts in (see sim::SpanLog).
+  // rsh and the migration daemon thread the requester's context through here so
+  // spans opened by remote tools join the originating migrate's trace.
+  uint64_t trace_id = 0;
+  uint64_t trace_parent_span = 0;
 };
 
 // A registered native program: name -> entry. The registry models /usr/local/bin
@@ -179,6 +185,11 @@ class Kernel {
   // Cluster-owned span log for migration phase attribution (may stay null).
   void set_span_log(sim::SpanLog* spans) { spans_ = spans; }
   sim::SpanLog* spans() { return spans_; }
+  // Cluster-owned flight recorder (may stay null): kernel migration/signal
+  // trace lines mirror into its per-host ring so post-mortems carry kernel
+  // context alongside the spans.
+  void set_flight_recorder(sim::FlightRecorder* recorder) { recorder_ = recorder; }
+  sim::FlightRecorder* flight_recorder() { return recorder_; }
   // Cluster-owned fault injector (null or disabled in default configs). Also
   // hands it to the VFS so file-I/O syscalls can draw injected errors.
   void set_fault_injector(sim::FaultInjector* faults) {
@@ -374,6 +385,7 @@ class Kernel {
   sim::CounterHandle context_switch_metric_;
   sim::CounterHandle runnable_vm_metric_;
   sim::SpanLog* spans_ = nullptr;
+  sim::FlightRecorder* recorder_ = nullptr;
   sim::FaultInjector* faults_ = nullptr;
   MigrationHooks hooks_;
   const ProgramRegistry* programs_ = nullptr;
@@ -395,6 +407,28 @@ class Kernel {
   // The Section 5.2 "global flag" protocol between rest_proc() and execve().
   bool restproc_flag_ = false;
   uint32_t restproc_stack_size_ = 0;
+};
+
+// RAII phase span opened in a process's distributed-trace context: the span
+// begins as a child of the proc's innermost open span (proc.trace_parent_span)
+// and becomes the proc's context until the scope closes, so nested scopes and
+// remote children spawned inside the scope chain into one causal tree. A null
+// or disabled span log makes the scope a no-op.
+class TraceSpan {
+ public:
+  TraceSpan(Kernel& kernel, Proc& p, std::string phase);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  uint64_t id() const { return id_; }
+
+ private:
+  sim::SpanLog* log_ = nullptr;
+  Proc* proc_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t saved_parent_ = 0;
 };
 
 // The system-call interface used by native programs. One per native process; also

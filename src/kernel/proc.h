@@ -132,6 +132,14 @@ struct Proc {
   // the exec-time image) instead of a full one. Cleared by execve().
   bool dump_incremental = false;
 
+  // Distributed-trace context (see sim::SpanLog): the trace this process
+  // participates in, and its innermost open span — the parent for spans it
+  // opens and for processes it spawns. Inherited via SpawnOptions, copied onto
+  // a SIGDUMP victim by PostSignal, and stamped into / adopted from dump
+  // metadata so one migration's spans on every host share a trace id.
+  uint64_t trace_id = 0;
+  uint64_t trace_parent_span = 0;
+
   bool Alive() const { return state != ProcState::kZombie && state != ProcState::kDead; }
 
   int FreeFdSlot() const {

@@ -30,6 +30,13 @@ Status Kernel::PostSignal(int32_t pid, int signo, Proc* sender) {
   Proc* target = FindProc(pid);
   if (target == nullptr || !target->Alive()) return Errno::kSrch;
   ++stats_.signals_posted;
+  // SIGDUMP is always sent by the migration machinery; hand the sender's
+  // distributed-trace context to the victim so the kernel dump span (and the
+  // dump metadata) join the originating migrate's trace.
+  if (signo == Sig::kSigDump && sender != nullptr && sender->trace_id != 0) {
+    target->trace_id = sender->trace_id;
+    target->trace_parent_span = sender->trace_parent_span;
+  }
   target->sig_pending |= (uint64_t{1} << signo);
   Trace(sim::TraceCategory::kSignal, pid,
         "signal " + std::to_string(signo) + " posted" +
@@ -144,7 +151,10 @@ void Kernel::StartMigrationDump(Proc& p) {
   Trace(sim::TraceCategory::kMigration, pid, "SIGDUMP: dumping process state");
   // The dump is asynchronous (the process sleeps while the files are written), so
   // the span cannot be a scope on this stack — it closes inside the timer.
-  const uint64_t span_id = spans_ != nullptr ? spans_->Begin("dump", hostname_, pid) : 0;
+  const uint64_t span_id =
+      spans_ != nullptr
+          ? spans_->Begin("dump", hostname_, pid, p.trace_id, p.trace_parent_span)
+          : 0;
   p.wake_timer = clock_->CallAfter(
       prepared->cpu + prepared->wait,
       [this, pid, span_id, files = std::move(prepared->files)] {
@@ -182,6 +192,10 @@ void Kernel::StartMigrationDump(Proc& p) {
           for (const auto& wf : written) vfs_->SetupUnlink(wf.first);
           metrics_.Inc("migration.dump_aborts");
           if (spans_ != nullptr) spans_->End(span_id);
+          if (recorder_ != nullptr && recorder_->enabled()) {
+            recorder_->Dump(hostname_, proc->trace_id,
+                            "dump aborted for pid " + std::to_string(pid) + " phase=dump");
+          }
           proc->state = ProcState::kRunnable;  // resume; the process is not lost
           proc->unblock_check = nullptr;
           return;

@@ -596,6 +596,8 @@ Status Kernel::SysRestProc(Proc& p, std::string_view aout_path, std::string_view
     timers_.rest_proc.cpu = (p.stime + p.utime) - cpu0;
     timers_.rest_proc.real = timers_.rest_proc.cpu + (p.pending_wait - wait0);
     timers_.rest_proc.valid = true;
+    metrics_.Inc("migration.restarts");
+    metrics_.Observe("migration.restart_ns", timers_.rest_proc.real);
     Trace(sim::TraceCategory::kMigration, p.pid,
           "rest_proc restored image from " + std::string(aout_path));
     // Let the I/O wait of reading the dump files elapse before the restored

@@ -16,6 +16,8 @@ int MigrationDaemonMain(kernel::SyscallApi& api, SpawnService* service) {
     opts.tty = nullptr;
     opts.cwd = "/";
     opts.ppid = api.GetPid();
+    opts.trace_id = req->trace_id;
+    opts.trace_parent_span = req->trace_parent_span;
     const Result<int32_t> pid = api.kernel().SpawnProgram(req->program, req->args, opts);
     if (!pid.ok()) {
       req->spawn_failed = true;
@@ -44,7 +46,7 @@ Result<int> DaemonExec(kernel::SyscallApi& api, Network& net, std::string_view h
 
   {
     // TCP connect + request marshalling to the well-known port: cheap, unlike rsh.
-    sim::SpanScope setup(local.spans(), "setup", local.hostname(), api.pid());
+    kernel::TraceSpan setup(local, api.proc(), "setup");
     api.Sleep(net.costs().daemon_request);
   }
   // The host may have crashed during connect, or the request may be lost on the
@@ -59,6 +61,8 @@ Result<int> DaemonExec(kernel::SyscallApi& api, Network& net, std::string_view h
   req->program = program;
   req->args = std::move(args);
   req->creds = kernel::Credentials{api.GetUid(), 0, api.GetEuid(), 0};
+  req->trace_id = api.proc().trace_id;
+  req->trace_parent_span = api.proc().trace_parent_span;
   service->Push(req);
 
   // A host that powers off after accepting the request used to leave the

@@ -30,6 +30,10 @@ class SpawnService {
     std::string program;
     std::vector<std::string> args;
     kernel::Credentials creds;
+    // Requester's distributed-trace context; the daemon spawns the program in
+    // it so remote spans join the originating trace (0/0 = no trace).
+    uint64_t trace_id = 0;
+    uint64_t trace_parent_span = 0;
     // Filled in by the daemon:
     bool done = false;
     bool spawn_failed = false;

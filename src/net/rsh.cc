@@ -21,7 +21,7 @@ Result<int> Rsh(kernel::SyscallApi& api, Network& net, std::string_view host,
   {
     // Connection establishment: privileged port, reverse lookup, hosts.equiv, rshd
     // fork. Pure real time — the caller's CPU is idle.
-    sim::SpanScope setup(local.spans(), "setup", local.hostname(), api.pid());
+    kernel::TraceSpan setup(local, api.proc(), "setup");
     api.Sleep(net.costs().rsh_setup);
   }
   // The host may have crashed while we were connecting, or the request may be
@@ -43,6 +43,10 @@ Result<int> Rsh(kernel::SyscallApi& api, Network& net, std::string_view host,
   spawn_opts.tty = nullptr;
   spawn_opts.cwd = "/";
   spawn_opts.ppid = 0;  // child of the (unmodelled) remote rshd
+  // The remote command runs in the caller's distributed-trace context: its
+  // spans become children of whatever span the caller is inside right now.
+  spawn_opts.trace_id = api.proc().trace_id;
+  spawn_opts.trace_parent_span = api.proc().trace_parent_span;
   const Result<int32_t> pid_or = remote->SpawnProgram(program, std::move(args), spawn_opts);
   if (!pid_or.ok()) return pid_or.error();
   const int32_t rpid = *pid_or;
@@ -95,7 +99,7 @@ Result<int> Rsh(kernel::SyscallApi& api, Network& net, std::string_view host,
       metrics.Inc("net.messages." + remote->hostname() + "->" + local.hostname());
       metrics.Observe("net.transfer_ns", wire);
     }
-    sim::SpanScope transfer(local.spans(), "transfer", local.hostname(), api.pid());
+    kernel::TraceSpan transfer(local, api.proc(), "transfer");
     api.Sleep(wire);
     const Result<int64_t> written = api.Write(1, output);
     (void)written;  // a closed stdout is the caller's problem, as with real rsh

@@ -45,6 +45,30 @@ void Histogram::MergeFrom(const Histogram& other) {
   for (size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
 }
 
+Nanos Histogram::Percentile(double p) const {
+  if (count == 0) return 0;
+  p = std::min(std::max(p, 0.0), 100.0);
+  // Rank of the percentile observation, 1-based (nearest-rank definition).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(count) * p / 100.0 + 0.5));
+  int64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] < rank) {
+      seen += buckets[i];
+      continue;
+    }
+    // Interpolate within bucket i, whose value range is [lo, hi).
+    const Nanos lo = i == 0 ? 0 : Nanos{1} << i;
+    const Nanos hi = Nanos{1} << (i + 1);
+    const double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(buckets[i]);
+    const Nanos est = lo + static_cast<Nanos>(static_cast<double>(hi - lo) * frac);
+    return std::min(std::max(est, min), max);
+  }
+  return max;
+}
+
 void MetricsRegistry::Observe(std::string_view name, Nanos value) {
   if (!enabled_) return;
   auto it = histograms_.find(name);

@@ -38,6 +38,10 @@ struct Histogram {
   void Record(Nanos value);
   void MergeFrom(const Histogram& other);
   Nanos Mean() const { return count > 0 ? sum / count : 0; }
+  // Estimated p-th percentile (p in [0,100]) from the log2 buckets: find the
+  // bucket where the cumulative count crosses p% and interpolate linearly
+  // within it, clamped to the exact observed [min, max]. Empty histogram: 0.
+  Nanos Percentile(double p) const;
 };
 
 class CounterHandle;

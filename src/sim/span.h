@@ -28,6 +28,8 @@
 
 namespace pmig::sim {
 
+class FlightRecorder;
+
 struct SpanRecord {
   uint64_t id = 0;
   std::string phase;
@@ -35,6 +37,11 @@ struct SpanRecord {
   int32_t pid = -1;
   Nanos begin = 0;
   Nanos end = -1;  // -1 while open
+  // Distributed-trace context: spans recorded on different hosts that carry the
+  // same trace_id belong to one causal migration, and parent_id links them into
+  // a tree (0 = root / no parent). Both are 0 for spans opened outside a trace.
+  uint64_t trace_id = 0;
+  uint64_t parent_id = 0;
 
   bool closed() const { return end >= 0; }
   Nanos duration() const { return closed() ? end - begin : 0; }
@@ -53,9 +60,20 @@ class SpanLog {
   bool enabled() const { return enabled_; }
 
   // Opens a span at the current virtual time. Returns its id, or 0 while
-  // disabled (End(0) is a no-op, so callers need not re-check).
-  uint64_t Begin(std::string phase, std::string host, int32_t pid);
+  // disabled (End(0) is a no-op, so callers need not re-check). The trace_id /
+  // parent_id pair is the caller's distributed-trace context; 0/0 records a
+  // context-free span exactly as before.
+  uint64_t Begin(std::string phase, std::string host, int32_t pid,
+                 uint64_t trace_id = 0, uint64_t parent_id = 0);
   void End(uint64_t id);
+
+  // Mints a cluster-unique trace id (one SpanLog is shared cluster-wide).
+  // Returns 0 while disabled so a disabled run never stamps ids anywhere.
+  uint64_t MintTraceId() { return enabled_ ? next_trace_id_++ : 0; }
+
+  // Events additionally mirror into `recorder` (may be null) when it is
+  // enabled; the recorder never charges virtual time.
+  void set_flight_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
 
   const std::vector<SpanRecord>& spans() const { return spans_; }
   const SpanRecord* Find(uint64_t id) const;
@@ -66,11 +84,24 @@ class SpanLog {
   // are ignored.
   std::map<std::string, Nanos> PhaseSelfTimes() const;
 
+  // All distinct nonzero trace ids with at least one closed span, ascending.
+  std::vector<uint64_t> TraceIds() const;
+  // Root span of a trace (closed span with this trace_id whose parent_id is 0
+  // or refers to no recorded span), or nullptr.
+  const SpanRecord* TraceRoot(uint64_t trace_id) const;
+  // Per-phase self time within one trace, computed from the parent links (not
+  // the timeline sweep), so it works across hosts: each span's duration minus
+  // its direct children's durations. Summing over a well-nested trace tree
+  // reproduces the root's duration exactly.
+  std::map<std::string, Nanos> TraceSelfTimes(uint64_t trace_id) const;
+
  private:
   bool enabled_ = false;
   uint64_t next_id_ = 1;
+  uint64_t next_trace_id_ = 1;
   VirtualClock* clock_;
   TraceLog* trace_;
+  FlightRecorder* recorder_ = nullptr;
   std::vector<SpanRecord> spans_;
 };
 

@@ -76,6 +76,8 @@ std::string RunChaos(uint64_t seed) {
   test::WorldOptions options;
   options.num_hosts = 3;  // brick, schooner, brador
   options.metrics = true;
+  options.spans = true;
+  options.flight_recorder = true;
   options.faults.enabled = true;
   options.faults.seed = seed;
   options.faults.net_send_failure_rate = 0.25;
@@ -103,6 +105,7 @@ std::string RunChaos(uint64_t seed) {
 
   net::Network* net = &world.cluster().network();
   std::ostringstream fp;
+  int failed_legs = 0;
   for (int i = 0; i < kVictims; ++i) {
     const int32_t pid = victims[static_cast<size_t>(i)];
     const std::string target = (i % 2 == 0) ? "schooner" : "brador";
@@ -118,6 +121,7 @@ std::string RunChaos(uint64_t seed) {
         },
         opts);
     EXPECT_TRUE(world.RunUntilExited("brick", mig, sim::Seconds(600)));
+    if (*rc != core::kToolOk) ++failed_legs;
     fp << "rc" << i << "=" << *rc << ";";
   }
 
@@ -136,6 +140,17 @@ std::string RunChaos(uint64_t seed) {
     }
   }
   EXPECT_EQ(total_alive, kVictims) << "seed " << seed << " lost a process";
+
+  // Every migrate leg that failed or fell back must have left a flight-recorder
+  // post-mortem (the kernel may add more for aborted dumps), each tagged with a
+  // trace id and a failing phase. The count is part of the replay fingerprint.
+  const auto& postmortems = world.cluster().flight_recorder().postmortems();
+  EXPECT_GE(static_cast<int>(postmortems.size()), failed_legs)
+      << "seed " << seed << ": a failed migrate left no post-mortem";
+  for (const auto& pm : postmortems) {
+    EXPECT_NE(pm.reason.find("phase="), std::string::npos) << pm.reason;
+  }
+  fp << "pm=" << postmortems.size() << ";";
 
   fp << "t=" << world.cluster().clock().now() << ";";
   const sim::MetricsRegistry metrics = world.cluster().AggregateMetrics();

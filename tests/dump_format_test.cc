@@ -74,6 +74,7 @@ StackFile SampleStack() {
   s.sig_pending = 1u << vm::abi::kSigHup;
   s.old_pid = 1234;
   s.old_host = "brick";
+  s.trace_id = 77;
   return s;
 }
 
@@ -91,6 +92,20 @@ TEST(StackFile, RoundTrip) {
   EXPECT_EQ(back->sig_pending, 1u << vm::abi::kSigHup);
   EXPECT_EQ(back->old_pid, 1234);
   EXPECT_EQ(back->old_host, "brick");
+  EXPECT_EQ(back->trace_id, 77u);
+}
+
+// The trace id is a fixed 8-byte slot, so stamping a dump with a trace context
+// never changes its size — the DiskIo/network cost of a traced migration is
+// byte-for-byte the cost of an untraced one.
+TEST(StackFile, TraceIdDoesNotChangeDumpSize) {
+  StackFile traced = SampleStack();
+  StackFile untraced = SampleStack();
+  untraced.trace_id = 0;
+  EXPECT_EQ(traced.Serialize().size(), untraced.Serialize().size());
+  const Result<StackFile> back = StackFile::Parse(untraced.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->trace_id, 0u);
 }
 
 TEST(StackFile, RejectsBadMagic) {

@@ -9,9 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <map>
+#include <set>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/apps/load_balancer.h"
+#include "src/sim/flight_recorder.h"
 #include "src/sim/metrics.h"
 #include "src/sim/span.h"
 #include "tests/test_util.h"
@@ -76,6 +83,36 @@ TEST(MetricsRegistry, MergeFromAggregates) {
   EXPECT_EQ(h->count, 2);
   EXPECT_EQ(h->min, sim::Millis(1));
   EXPECT_EQ(h->max, sim::Millis(9));
+}
+
+TEST(MetricsRegistry, HistogramPercentiles) {
+  sim::Histogram empty;
+  EXPECT_EQ(empty.Percentile(50), 0);
+
+  sim::MetricsRegistry m;
+  m.set_enabled(true);
+  m.Observe("one", sim::Millis(5));
+  const sim::Histogram* one = m.FindHistogram("one");
+  ASSERT_NE(one, nullptr);
+  // A single observation is every percentile: the log2-bucket estimate clamps
+  // to the exact observed [min, max].
+  EXPECT_EQ(one->Percentile(0), sim::Millis(5));
+  EXPECT_EQ(one->Percentile(50), sim::Millis(5));
+  EXPECT_EQ(one->Percentile(99), sim::Millis(5));
+
+  m.Observe("two", sim::Millis(1));
+  m.Observe("two", sim::Millis(100));
+  const sim::Histogram* two = m.FindHistogram("two");
+  ASSERT_NE(two, nullptr);
+  // p50 lands in the low observation's bucket, p95 near the high one; estimates
+  // stay inside the observed range and are monotone in p.
+  EXPECT_GE(two->Percentile(50), sim::Millis(1));
+  EXPECT_LT(two->Percentile(50), sim::Millis(2));
+  EXPECT_GE(two->Percentile(95), sim::Millis(50));
+  EXPECT_LE(two->Percentile(95), sim::Millis(100));
+  EXPECT_LE(two->Percentile(50), two->Percentile(95));
+  EXPECT_LE(two->Percentile(95), two->Percentile(99));
+  EXPECT_LE(two->Percentile(99), two->max);
 }
 
 TEST(SpanLog, DisabledBeginReturnsZero) {
@@ -193,6 +230,205 @@ TEST(Observability, MigrationPhaseBreakdownSumsToEndToEnd) {
   EXPECT_NE(report.find("\"dump\":" + std::to_string(self.at("dump"))), std::string::npos);
   EXPECT_NE(report.find("\"type\":\"span\""), std::string::npos);
   EXPECT_NE(report.find("migration.dumps_started"), std::string::npos);
+}
+
+// The tentpole acceptance test: a remote-to-remote migrate typed on a third
+// machine is ONE distributed trace. Spans recorded by three different kernels
+// carry the same minted trace id, the parent links assemble them into a single
+// tree rooted at the migrate command, and the per-trace self times reproduce
+// the root's end-to-end duration exactly.
+TEST(Observability, CrossHostTraceAssemblesOneTree) {
+  WorldOptions options;
+  options.num_hosts = 3;  // migrate typed on brick, schooner -> brador
+  options.metrics = true;
+  options.spans = true;
+  World world(options);
+
+  const int32_t pid = world.StartVm("schooner", "/bin/counter");
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(world.RunUntilBlocked("schooner", pid));
+  world.console("schooner")->Type("x\n");
+  ASSERT_TRUE(world.RunUntilBlocked("schooner", pid));
+
+  const int32_t mig = world.StartTool(
+      "brick", "migrate", {"-p", std::to_string(pid), "-f", "schooner", "-t", "brador"},
+      test::kUserUid, world.console("brick"));
+  ASSERT_GT(mig, 0);
+  ASSERT_TRUE(world.RunUntilExited("brick", mig));
+  EXPECT_EQ(world.ExitInfoOf("brick", mig).exit_code, 0);
+
+  // One migrate mints exactly one trace id; the remote dumpproc and restart
+  // legs inherit it instead of minting their own.
+  const sim::SpanLog& spans = world.cluster().spans();
+  const std::vector<uint64_t> ids = spans.TraceIds();
+  ASSERT_EQ(ids.size(), 1u);
+  const uint64_t trace = ids[0];
+  EXPECT_GT(trace, 0u);
+
+  // The trace crosses all three machines: home, source, destination.
+  std::set<std::string> hosts_in_trace;
+  for (const sim::SpanRecord& s : spans.spans()) {
+    if (s.trace_id == trace && s.closed()) hosts_in_trace.insert(s.host);
+  }
+  EXPECT_EQ(hosts_in_trace.size(), 3u);
+
+  const sim::SpanRecord* root = spans.TraceRoot(trace);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->phase, "migrate");
+  EXPECT_EQ(root->host, "brick");
+  EXPECT_GT(root->duration(), 0);
+
+  // Self times over the cross-host tree partition the root exactly.
+  const auto self = spans.TraceSelfTimes(trace);
+  for (const char* phase : {"dump", "restart"}) {
+    ASSERT_TRUE(self.count(phase)) << phase;
+  }
+  sim::Nanos sum = 0;
+  for (const auto& [phase, ns] : self) sum += ns;
+  EXPECT_EQ(sum, root->duration());
+
+  // The run report carries a per-trace summary with the same numbers.
+  std::ostringstream out;
+  world.cluster().WriteReport(out);
+  const std::string report = out.str();
+  EXPECT_NE(report.find("\"type\":\"trace_summary\""), std::string::npos);
+  EXPECT_NE(report.find("\"trace_id\":" + std::to_string(trace)), std::string::npos);
+  EXPECT_NE(report.find("\"total_ns\":" + std::to_string(root->duration())),
+            std::string::npos);
+  EXPECT_NE(report.find("\"critical_path\":"), std::string::npos);
+}
+
+// A migrate into an unreachable host must leave a flight-recorder post-mortem
+// whose trace id and failing phase match the complaint printed on the caller's
+// terminal — the complaint greps straight to its post-mortem.
+TEST(Observability, FlightRecorderDumpsOnHostUnreach) {
+  WorldOptions options;
+  options.num_hosts = 2;
+  options.metrics = true;
+  options.spans = true;
+  options.flight_recorder = true;
+  World world(options);
+
+  const int32_t pid = world.StartVm("brick", "/bin/counter");
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(world.RunUntilBlocked("brick", pid));
+  world.cluster().SetHostDown("schooner", true);
+  const int32_t mig = world.StartTool(
+      "brick", "migrate", {"-p", std::to_string(pid), "-t", "schooner"});
+  ASSERT_TRUE(world.RunUntilExited("brick", mig, sim::Seconds(300)));
+  EXPECT_NE(world.ExitInfoOf("brick", mig).exit_code, 0);
+
+  const sim::FlightRecorder& recorder = world.cluster().flight_recorder();
+  ASSERT_FALSE(recorder.postmortems().empty());
+  const sim::FlightRecorder::Postmortem& pm = recorder.postmortems().front();
+  EXPECT_EQ(pm.host, "brick");
+  EXPECT_GT(pm.trace_id, 0u);
+  EXPECT_NE(pm.reason.find("phase=restart"), std::string::npos);
+  EXPECT_FALSE(pm.jsonl.empty());
+  EXPECT_FALSE(recorder.ring("brick").empty());
+
+  const std::string tty = world.tty("brick", "ttyp0")->PlainOutput();
+  EXPECT_NE(tty.find("EHOSTUNREACH"), std::string::npos);
+  EXPECT_NE(tty.find("[trace=" + std::to_string(pm.trace_id) + " phase=restart]"),
+            std::string::npos);
+
+  // The run report summarises every post-mortem.
+  std::ostringstream report;
+  world.cluster().WriteReport(report);
+  EXPECT_NE(report.str().find("\"type\":\"postmortem\""), std::string::npos);
+}
+
+// Integer field of a one-line JSON object, or -1 when absent. Good enough for
+// the trace events this test generates (no nested objects before the key).
+long long JsonField(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::atoll(line.c_str() + pos + needle.size());
+}
+
+// The exported Chrome trace must be structurally sound: parseable line by
+// line, every End matching an open Begin on its (process, thread) track, one
+// named track per host, and at least one cross-host flow arrow pair.
+TEST(Observability, ChromeTraceParsesAndBeginsMatchEnds) {
+  WorldOptions options;
+  options.num_hosts = 3;
+  options.metrics = true;
+  options.spans = true;
+  options.flight_recorder = true;
+  options.sample_period = sim::Millis(50);
+  World world(options);
+
+  const int32_t pid = world.StartVm("schooner", "/bin/counter");
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(world.RunUntilBlocked("schooner", pid));
+  world.console("schooner")->Type("x\n");
+  ASSERT_TRUE(world.RunUntilBlocked("schooner", pid));
+  const int32_t mig = world.StartTool(
+      "brick", "migrate", {"-p", std::to_string(pid), "-f", "schooner", "-t", "brador"},
+      test::kUserUid, world.console("brick"));
+  ASSERT_TRUE(world.RunUntilExited("brick", mig));
+  EXPECT_EQ(world.ExitInfoOf("brick", mig).exit_code, 0);
+
+  std::ostringstream trace_out;
+  world.cluster().WriteChromeTrace(trace_out);
+  std::istringstream lines(trace_out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  std::vector<std::string> events;
+  bool closed = false;
+  while (std::getline(lines, line)) {
+    if (line == "]}") {
+      closed = true;
+      break;
+    }
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    events.push_back(line);
+  }
+  EXPECT_TRUE(closed);
+  EXPECT_FALSE(std::getline(lines, line));
+
+  int process_names = 0;
+  std::map<std::pair<long long, long long>, int> depth;
+  long long flow_id = -1;
+  bool flow_start = false, flow_finish = false;
+  for (const std::string& e : events) {
+    if (e.find("\"name\":\"process_name\"") != std::string::npos) {
+      ++process_names;
+      continue;
+    }
+    const auto track = std::make_pair(JsonField(e, "pid"), JsonField(e, "tid"));
+    if (e.find("\"ph\":\"B\"") != std::string::npos) {
+      ++depth[track];
+    } else if (e.find("\"ph\":\"E\"") != std::string::npos) {
+      ASSERT_GT(depth[track], 0) << "End without an open Begin: " << e;
+      --depth[track];
+    } else if (e.find("\"ph\":\"s\"") != std::string::npos) {
+      flow_start = true;
+      flow_id = JsonField(e, "id");
+    } else if (e.find("\"ph\":\"f\"") != std::string::npos &&
+               JsonField(e, "id") == flow_id) {
+      flow_finish = e.find("\"bp\":\"e\"") != std::string::npos;
+    }
+  }
+  EXPECT_EQ(process_names, 3);  // one named track per host
+  for (const auto& [track, d] : depth) {
+    EXPECT_EQ(d, 0) << "unbalanced track pid=" << track.first << " tid=" << track.second;
+  }
+  EXPECT_TRUE(flow_start);
+  EXPECT_TRUE(flow_finish);
+
+  // The sampler took periodic snapshots, and the report carries them alongside
+  // the histogram percentiles.
+  EXPECT_FALSE(world.cluster().samples().empty());
+  std::ostringstream report;
+  world.cluster().WriteReport(report);
+  EXPECT_NE(report.str().find("\"type\":\"sample\""), std::string::npos);
+  EXPECT_NE(report.str().find("\"p50_ns\":"), std::string::npos);
 }
 
 // With metrics on, HostLoad reads the scheduler gauge; it must agree with a
