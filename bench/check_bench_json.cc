@@ -1,0 +1,251 @@
+// Schema gate for the standardized BENCH_<name>.json files.
+//
+// Every bench binary writes one of these next to itself (see WriteBenchJson);
+// bench/baselines/ commits a reference copy per bench. Downstream tooling
+// (EXPERIMENTS.md tables, dashboards) parses them, so the shape is a contract:
+//
+//   {"bench": <string>, "rows": [{"case": <string>, "vcpu_ms": <number>,
+//                                 "vreal_ms": <number>, "bytes_moved": <int>}...]}
+//
+// Usage: check_bench_json <file-or-dir>... — directories are scanned for
+// BENCH_*.json. Exits 1 if any file fails to parse, misses a required key, has
+// a wrong type, carries a negative measurement, or has no rows.
+//
+// The parser below covers exactly the JSON subset WriteBenchJson emits (no
+// third-party JSON dependency in this repo, by design).
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Cursor {
+  const std::string* text = nullptr;
+  size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& why) {
+    if (error.empty()) error = why + " at byte " + std::to_string(pos);
+    return false;
+  }
+  void SkipWs() {
+    while (pos < text->size() && std::isspace(static_cast<unsigned char>((*text)[pos]))) {
+      ++pos;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (pos >= text->size() || (*text)[pos] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+  bool ParseString(std::string* out) {
+    if (!Eat('"')) return false;
+    out->clear();
+    while (pos < text->size() && (*text)[pos] != '"') {
+      char c = (*text)[pos++];
+      if (c == '\\') {
+        if (pos >= text->size()) return Fail("dangling escape");
+        c = (*text)[pos++];
+      }
+      out->push_back(c);
+    }
+    if (pos >= text->size()) return Fail("unterminated string");
+    ++pos;
+    return true;
+  }
+  bool ParseNumber(double* out, bool* integral) {
+    SkipWs();
+    const size_t start = pos;
+    if (pos < text->size() && ((*text)[pos] == '-' || (*text)[pos] == '+')) ++pos;
+    bool dot = false;
+    while (pos < text->size() &&
+           (std::isdigit(static_cast<unsigned char>((*text)[pos])) || (*text)[pos] == '.' ||
+            (*text)[pos] == 'e' || (*text)[pos] == 'E' || (*text)[pos] == '-' ||
+            (*text)[pos] == '+')) {
+      if ((*text)[pos] == '.' || (*text)[pos] == 'e' || (*text)[pos] == 'E') dot = true;
+      ++pos;
+    }
+    if (pos == start) return Fail("expected number");
+    *out = std::strtod(text->c_str() + start, nullptr);
+    if (integral != nullptr) *integral = !dot;
+    return true;
+  }
+};
+
+struct BenchRow {
+  std::string case_name;
+  double vcpu_ms = -1;
+  double vreal_ms = -1;
+  double bytes_moved = -1;
+  bool bytes_integral = false;
+  bool has_case = false, has_cpu = false, has_real = false, has_bytes = false;
+};
+
+// Parses one row object, tolerating any key order (the writer is fixed-order,
+// but the contract is the keys, not their order).
+bool ParseRow(Cursor* c, BenchRow* row) {
+  if (!c->Eat('{')) return false;
+  for (;;) {
+    std::string key;
+    if (!c->ParseString(&key)) return false;
+    if (!c->Eat(':')) return false;
+    if (key == "case") {
+      if (!c->ParseString(&row->case_name)) return false;
+      row->has_case = true;
+    } else if (key == "vcpu_ms") {
+      if (!c->ParseNumber(&row->vcpu_ms, nullptr)) return false;
+      row->has_cpu = true;
+    } else if (key == "vreal_ms") {
+      if (!c->ParseNumber(&row->vreal_ms, nullptr)) return false;
+      row->has_real = true;
+    } else if (key == "bytes_moved") {
+      if (!c->ParseNumber(&row->bytes_moved, &row->bytes_integral)) return false;
+      row->has_bytes = true;
+    } else {
+      return c->Fail("unknown row key \"" + key + "\"");
+    }
+    c->SkipWs();
+    if (c->pos < c->text->size() && (*c->text)[c->pos] == ',') {
+      ++c->pos;
+      continue;
+    }
+    break;
+  }
+  return c->Eat('}');
+}
+
+bool ValidateFile(const std::string& path, std::string* why) {
+  std::ifstream in(path);
+  if (!in) {
+    *why = "cannot open";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  Cursor c;
+  c.text = &text;
+
+  std::string key, bench_name;
+  std::vector<BenchRow> rows;
+  bool has_bench = false, has_rows = false;
+  if (!c.Eat('{')) goto parse_error;
+  for (;;) {
+    if (!c.ParseString(&key)) goto parse_error;
+    if (!c.Eat(':')) goto parse_error;
+    if (key == "bench") {
+      if (!c.ParseString(&bench_name)) goto parse_error;
+      has_bench = true;
+    } else if (key == "rows") {
+      if (!c.Eat('[')) goto parse_error;
+      has_rows = true;
+      c.SkipWs();
+      if (c.pos < text.size() && text[c.pos] == ']') {
+        ++c.pos;
+      } else {
+        for (;;) {
+          BenchRow row;
+          if (!ParseRow(&c, &row)) goto parse_error;
+          rows.push_back(row);
+          c.SkipWs();
+          if (c.pos < text.size() && text[c.pos] == ',') {
+            ++c.pos;
+            continue;
+          }
+          break;
+        }
+        if (!c.Eat(']')) goto parse_error;
+      }
+    } else {
+      c.Fail("unknown top-level key \"" + key + "\"");
+      goto parse_error;
+    }
+    c.SkipWs();
+    if (c.pos < text.size() && text[c.pos] == ',') {
+      ++c.pos;
+      continue;
+    }
+    break;
+  }
+  if (!c.Eat('}')) goto parse_error;
+
+  if (!has_bench || bench_name.empty()) {
+    *why = "missing or empty \"bench\"";
+    return false;
+  }
+  if (!has_rows) {
+    *why = "missing \"rows\"";
+    return false;
+  }
+  if (rows.empty()) {
+    *why = "no rows";
+    return false;
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    const std::string where = "row " + std::to_string(i);
+    if (!r.has_case || r.case_name.empty()) {
+      *why = where + ": missing \"case\"";
+      return false;
+    }
+    if (!r.has_cpu || !r.has_real || !r.has_bytes) {
+      *why = where + " (" + r.case_name + "): missing measurement key";
+      return false;
+    }
+    if (r.vcpu_ms < 0 || r.vreal_ms < 0 || r.bytes_moved < 0) {
+      *why = where + " (" + r.case_name + "): negative measurement";
+      return false;
+    }
+  }
+  return true;
+
+parse_error:
+  *why = c.error.empty() ? "parse error" : c.error;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <BENCH_*.json file or directory>...\n", argv[0]);
+    return 2;
+  }
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path p(argv[i]);
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else {
+      files.push_back(p.string());
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "check_bench_json: no BENCH_*.json files found\n");
+    return 1;
+  }
+  int bad = 0;
+  for (const std::string& file : files) {
+    std::string why;
+    if (ValidateFile(file, &why)) {
+      std::printf("ok      %s\n", file.c_str());
+    } else {
+      std::printf("INVALID %s: %s\n", file.c_str(), why.c_str());
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}

@@ -97,6 +97,7 @@ int main(int argc, char** argv) {
     if (arg == "--daemons") options.daemons = true;
     if (arg == "--metrics") options.metrics = true;  // pstat shows the counters
     if (arg == "--tracked") options.dirty_tracking = true;  // incremental dumps
+    if (arg == "--health") options.health.anomaly_detection = true;  // phealth live
     if (arg == "--hosts" && i + 1 < argc) options.num_hosts = std::atoi(argv[++i]);
   }
   Session session(std::move(options));

@@ -1,6 +1,7 @@
 #!/bin/sh
 # The full verification pipeline, one command: tier-1 build + ctest, the ASan
-# build + ctest, and the fig4 phase-drift gate. Run from the repository root.
+# and UBSan builds + ctest, and the fig4 phase-drift gate. Run from the
+# repository root.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,6 +20,13 @@ cmake --build build-asan -j
 echo "== ASan ctest =="
 (cd build-asan && ctest --output-on-failure -j)
 
+echo "== UBSan build =="
+cmake -B build-ubsan -S . -DPMIG_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j
+
+echo "== UBSan ctest =="
+(cd build-ubsan && UBSAN_OPTIONS=halt_on_error=1 ctest --output-on-failure -j)
+
 echo "== phase-drift gate =="
 ./build/bench/check_phases --fig4 ./build/bench/fig4_migrate \
     --baseline bench/phase_baseline.txt
@@ -29,5 +37,11 @@ echo "== placement gate =="
 echo "== observability bit-identical gates =="
 ./build/bench/fig2_dump --check
 ./build/bench/fig4_migrate --check
+
+echo "== health-monitor gate =="
+./build/bench/ablation_health --check
+
+echo "== bench JSON schema gate =="
+./build/bench/check_bench_json bench/baselines
 
 echo "ci: all green"

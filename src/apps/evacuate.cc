@@ -22,7 +22,8 @@ bool Movable(kernel::Kernel& host, const kernel::Proc& p) {
 EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
                               std::string_view from_host, std::string_view to_host,
                               bool use_daemon, const core::MigrateOptions& opts,
-                              PlacementPolicy policy, double fault_threshold) {
+                              PlacementPolicy policy, double fault_threshold,
+                              double health_threshold) {
   EvacuationReport report;
   kernel::Kernel* from = net.FindHost(from_host);
   if (from == nullptr) return report;
@@ -46,6 +47,7 @@ EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
       query.from_host = std::string(from_host);
       query.pid = pid;
       query.fault_threshold = fault_threshold;
+      query.health_threshold = health_threshold;
       query.occupancy = true;  // count earlier evacuees even before they reschedule
       target = engine.PickTarget(query);
       if (target.empty()) {

@@ -35,14 +35,16 @@ struct EvacuationReport {
 // An empty `to_host` asks the PlacementEngine to pick a target per process under
 // `policy` — spreading the evacuees across the cluster instead of dumping them
 // all on one machine, and never picking a host that is down (or, under the
-// fault-aware policies, one with a bad recent track record). Processes with no
-// eligible target are reported as `unplaced` and receive no migrate attempt.
+// fault-aware policies, one with a bad recent track record or a health-monitor
+// score at or above `health_threshold`). Processes with no eligible target are
+// reported as `unplaced` and receive no migrate attempt.
 EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
                               std::string_view from_host, std::string_view to_host,
                               bool use_daemon = true,
                               const core::MigrateOptions& opts = {},
                               PlacementPolicy policy = PlacementPolicy::kLoadOnly,
-                              double fault_threshold = 0.5);
+                              double fault_threshold = 0.5,
+                              double health_threshold = 1.0);
 
 }  // namespace pmig::apps
 

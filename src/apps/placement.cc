@@ -97,11 +97,16 @@ int AliveVmCount(kernel::Kernel& host) {
 
 }  // namespace
 
-bool PlacementEngine::Eligible(const kernel::Kernel& host, double fault_threshold) const {
+bool PlacementEngine::Eligible(const kernel::Kernel& host, double fault_threshold,
+                               double health_threshold) const {
   if (host.down()) return false;
   if (UsesFaultSignal()) {
     const sim::FaultHistory* history = net_->fault_history();
     if (history != nullptr && history->Score(host.hostname()) >= fault_threshold) {
+      return false;
+    }
+    const sim::HealthMonitor* monitor = net_->health_monitor();
+    if (monitor != nullptr && monitor->HealthScore(host.hostname()) >= health_threshold) {
       return false;
     }
   }
@@ -125,6 +130,9 @@ std::vector<CandidateScore> PlacementEngine::Score(const PlacementQuery& query) 
     }
     if (history != nullptr) s.fault_score = history->Score(s.host);
     s.fault_excluded = UsesFaultSignal() && s.fault_score >= query.fault_threshold;
+    const sim::HealthMonitor* monitor = net_->health_monitor();
+    if (monitor != nullptr) s.health_score = monitor->HealthScore(s.host);
+    s.health_excluded = UsesFaultSignal() && s.health_score >= query.health_threshold;
     scores.push_back(std::move(s));
   }
   return scores;
@@ -138,6 +146,11 @@ bool PlacementEngine::Beats(const CandidateScore& better,
   }
   if (UsesFaultSignal() && better.fault_score != incumbent.fault_score) {
     return better.fault_score < incumbent.fault_score;
+  }
+  // Below-threshold health still orders candidates: a host with one anomalous
+  // series loses to a clean one. Zero everywhere (monitor off) changes nothing.
+  if (UsesFaultSignal() && better.health_score != incumbent.health_score) {
+    return better.health_score < incumbent.health_score;
   }
   if (UsesCostSignal() && better.wire_history != incumbent.wire_history) {
     return better.wire_history > incumbent.wire_history;  // prefer the warm path
@@ -154,7 +167,7 @@ std::string PlacementEngine::PickTarget(const PlacementQuery& query) const {
   const std::vector<CandidateScore> scores = Score(query);
   const CandidateScore* best = nullptr;
   for (const CandidateScore& s : scores) {
-    if (s.fault_excluded) continue;
+    if (s.fault_excluded || s.health_excluded) continue;
     if (best == nullptr || Beats(s, *best)) best = &s;
   }
   return best != nullptr ? best->host : std::string();

@@ -55,6 +55,12 @@ struct PlacementQuery {
   // kFaultAware/kCombined: hosts whose decayed fault score is at or above this
   // are excluded outright.
   double fault_threshold = 0.5;
+  // kFaultAware/kCombined: hosts whose HealthMonitor score (anomalous series,
+  // firing burn alerts) is at or above this are excluded too — a host can be
+  // demoted for *looking* sick before any migrate against it has failed. The
+  // default demotes on any active signal; 0 scores (healthy, or monitor off)
+  // never exclude.
+  double health_threshold = 1.0;
   // Load = every live VM process instead of just the runnable ones. Back-to-back
   // placements (evacuation) want this: a just-restarted process sits briefly off
   // the run queue, and counting occupancy keeps consecutive picks from stacking
@@ -75,6 +81,10 @@ struct CandidateScore {
   sim::Nanos est_restart_ns = 0;
   double fault_score = 0;   // decayed failure weight (0 when no history exists)
   bool fault_excluded = false;  // over the threshold under this policy
+  // HealthMonitor penalty: anomalous series and firing SLO burn alerts against
+  // this host (0 when the monitor is off or the host looks healthy).
+  double health_score = 0;
+  bool health_excluded = false;
 };
 
 class PlacementEngine {
@@ -86,8 +96,10 @@ class PlacementEngine {
   PlacementPolicy policy() const { return policy_; }
 
   // A host this policy would consider at all: powered on, and (for the
-  // fault-aware policies) below the fault-score threshold.
-  bool Eligible(const kernel::Kernel& host, double fault_threshold = 0.5) const;
+  // fault-aware policies) below both the fault-score and health-score
+  // thresholds.
+  bool Eligible(const kernel::Kernel& host, double fault_threshold = 0.5,
+                double health_threshold = 1.0) const;
 
   // Every live candidate except from_host, in network order, signals filled.
   std::vector<CandidateScore> Score(const PlacementQuery& query) const;

@@ -14,12 +14,15 @@
 namespace pmig::cluster {
 
 Cluster::Cluster(ClusterConfig config)
-    : config_(std::move(config)), recorder_(&clock_, config_.flight_recorder_capacity) {
+    : config_(std::move(config)),
+      recorder_(&clock_, config_.flight_recorder_capacity),
+      health_monitor_(&clock_, config_.health, config_.slos) {
   trace_.set_enabled(config_.enable_trace);
   spans_.set_enabled(config_.enable_spans);
   recorder_.set_enabled(config_.enable_flight_recorder);
   recorder_.set_output_dir(config_.postmortem_dir);
   spans_.set_flight_recorder(&recorder_);
+  health_monitor_.set_flight_recorder(&recorder_);
   faults_ = std::make_unique<sim::FaultInjector>(config_.faults, &clock_);
   network_ = std::make_unique<net::Network>(&config_.costs);
   Boot();
@@ -38,12 +41,14 @@ void Cluster::Boot() {
     k->metrics().set_enabled(config_.enable_metrics);
     k->set_span_log(&spans_);
     k->set_flight_recorder(&recorder_);
+    k->set_health_monitor(&health_monitor_);
     k->set_fault_injector(faults_.get());
     network_->AddHost(k.get());
     hosts_.push_back(std::move(k));
   }
   network_->set_fault_injector(faults_.get());
   network_->set_fault_history(&fault_history_);
+  network_->set_health_monitor(&health_monitor_);
 
   // Cross-machine file access fails when the owning machine is down.
   std::map<const vfs::Filesystem*, kernel::Kernel*> owners;
@@ -146,8 +151,17 @@ void Cluster::TakeSample() {
       s.segcache_bytes = SegcacheBytes(*k);
     }
     s.fault_score = fault_history_.Score(k->hostname());
+    if (health_monitor_.enabled() && !s.down) {
+      health_monitor_.Observe(s.host, "load.runnable", s.runnable);
+      health_monitor_.Observe(s.host, "segcache.bytes",
+                              static_cast<double>(s.segcache_bytes));
+      health_monitor_.Observe(s.host, "fault.score", s.fault_score);
+    }
     samples_.push_back(std::move(s));
   }
+  // Burn windows age out even when no new observation arrives; re-evaluate at
+  // the sampler edge (still zero virtual time, zero RNG).
+  health_monitor_.Tick();
 }
 
 bool Cluster::Step() {
@@ -359,6 +373,23 @@ void Cluster::WriteReport(std::ostream& out) const {
     out << "{\"type\":\"postmortem\",\"t_ns\":" << pm.at << ",\"host\":\""
         << sim::JsonEscape(pm.host) << "\",\"trace_id\":" << pm.trace_id << ",\"reason\":\""
         << sim::JsonEscape(pm.reason) << "\"}\n";
+  }
+
+  // Health-monitor alerts and SLO budget status (present only when armed).
+  for (const sim::HealthAlert& a : health_monitor_.alerts()) {
+    out << "{\"type\":\"alert\",\"t_ns\":" << a.at << ",\"rule\":\"" << sim::JsonEscape(a.rule)
+        << "\",\"host\":\"" << sim::JsonEscape(a.host) << "\",\"value\":" << a.value
+        << ",\"detail\":\"" << sim::JsonEscape(a.detail)
+        << "\",\"resolved\":" << (a.resolved ? "true" : "false")
+        << ",\"resolved_at_ns\":" << a.resolved_at << "}\n";
+  }
+  for (const sim::HealthMonitor::BudgetStatus& b : health_monitor_.Budgets()) {
+    out << "{\"type\":\"slo\",\"name\":\"" << sim::JsonEscape(b.slo->name) << "\",\"host\":\""
+        << sim::JsonEscape(b.host) << "\",\"events\":" << b.events << ",\"bad\":" << b.bad
+        << ",\"allowed\":" << b.allowed << ",\"burn_fast\":" << b.burn_fast
+        << ",\"burn_slow\":" << b.burn_slow
+        << ",\"firing_fast\":" << (b.firing_fast ? "true" : "false")
+        << ",\"firing_slow\":" << (b.firing_slow ? "true" : "false") << "}\n";
   }
 }
 

@@ -23,6 +23,7 @@
 #include "src/sim/fault.h"
 #include "src/sim/fault_history.h"
 #include "src/sim/flight_recorder.h"
+#include "src/sim/health_monitor.h"
 #include "src/sim/metrics.h"
 #include "src/sim/span.h"
 #include "src/sim/trace.h"
@@ -57,6 +58,15 @@ struct ClusterConfig {
   // virtual times), snapshot each host's runnable load, segment-cache bytes, and
   // fault score into the run report. 0 (the default) disables sampling.
   sim::Nanos sample_period = 0;
+  // Health monitor (sim::HealthMonitor): armed iff `health.anomaly_detection`
+  // is set or `slos` is non-empty. The sampler above feeds it per-host load /
+  // segcache / fault-score series, and the kernel + migrate paths feed dump,
+  // restart, and end-to-end latency plus per-host error outcomes. Like the
+  // metrics layer it is observation-only (no RNG, no timers, no virtual-time
+  // charge): with the defaults — no SLOs, detection off — it is a dead branch
+  // and results stay bit-identical.
+  sim::HealthOptions health;
+  std::vector<sim::Slo> slos;
   // Deterministic fault injection (inert by default; when disabled no RNG is
   // consumed, no timers are armed, and results stay bit-identical).
   sim::FaultConfig faults;
@@ -91,6 +101,8 @@ class Cluster {
   const sim::SpanLog& spans() const { return spans_; }
   sim::FlightRecorder& flight_recorder() { return recorder_; }
   const sim::FlightRecorder& flight_recorder() const { return recorder_; }
+  sim::HealthMonitor& health_monitor() { return health_monitor_; }
+  const sim::HealthMonitor& health_monitor() const { return health_monitor_; }
   const std::vector<LoadSample>& samples() const { return samples_; }
   const sim::CostModel& costs() const { return config_.costs; }
   kernel::ProgramRegistry& programs() { return programs_; }
@@ -149,6 +161,7 @@ class Cluster {
   sim::TraceLog trace_;
   sim::SpanLog spans_{&clock_, &trace_};
   sim::FlightRecorder recorder_{&clock_};
+  sim::HealthMonitor health_monitor_;
   std::vector<LoadSample> samples_;
   sim::Nanos next_sample_at_ = 0;  // next sampler due time (0 = sampler off)
   kernel::ProgramRegistry programs_;

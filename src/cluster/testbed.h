@@ -28,6 +28,7 @@ struct TestbedOptions {
   // Flight recorder: bounded per-host event rings that dump a post-mortem when
   // a migrate fails or falls back (see ClusterConfig::enable_flight_recorder).
   bool flight_recorder = false;
+  size_t flight_recorder_capacity = 256;  // events retained per host ring
   // Arm the virtual-time load sampler with this period (0 = off).
   sim::Nanos sample_period = 0;
   // When non-empty, post-mortems are also written here as real files.
@@ -47,6 +48,9 @@ struct TestbedOptions {
   sim::CostModel costs;
   // Deterministic fault injection (inert unless faults.enabled).
   sim::FaultConfig faults;
+  // Health monitor (armed iff health.anomaly_detection or slos non-empty).
+  sim::HealthOptions health;
+  std::vector<sim::Slo> slos;
 };
 
 // Host names follow the paper's examples: brick, schooner, brador, classic.
@@ -76,9 +80,12 @@ class Testbed {
     config.enable_metrics = options.metrics;
     config.enable_spans = options.spans;
     config.enable_flight_recorder = options.flight_recorder;
+    config.flight_recorder_capacity = options.flight_recorder_capacity;
     config.sample_period = options.sample_period;
     config.postmortem_dir = options.postmortem_dir;
     config.faults = options.faults;
+    config.health = options.health;
+    config.slos = options.slos;
     cluster_ = std::make_unique<cluster::Cluster>(std::move(config));
     core::InstallMigration(*cluster_);
     for (const auto& host : cluster_->hosts()) {

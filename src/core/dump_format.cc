@@ -9,7 +9,7 @@
 namespace pmig::core {
 
 namespace {
-constexpr uint32_t kStackFormatVersion = 3;  // v2: identity extension; v3: trace id
+constexpr uint32_t kStackFormatVersion = 4;  // v2: identity; v3: trace id; v4: command
 }
 
 std::string FilesFile::Serialize() const {
@@ -73,6 +73,8 @@ std::string StackFile::Serialize() const {
   w.Str(old_host);
   // v3 extension.
   w.U64(trace_id);
+  // v4 extension.
+  w.Str(command);
   return w.Take();
 }
 
@@ -101,6 +103,9 @@ Result<StackFile> StackFile::Parse(const std::string& bytes) {
   }
   if (version >= 3) {
     s.trace_id = r.U64();
+  }
+  if (version >= 4) {
+    s.command = r.Str();
   }
   if (!r.ok()) return Errno::kNoExec;
   return s;

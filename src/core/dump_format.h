@@ -58,6 +58,10 @@ struct StackFile {
   // Extension (version >= 3): the distributed trace this dump belongs to, so a
   // restart on another host rejoins the originating migrate's span tree.
   uint64_t trace_id = 0;
+  // Extension (version >= 4): the command the process ran as, so a restart
+  // keeps the name visible to ps/ptop and to tools tracking a process across
+  // hops, instead of renaming every migrant to its dump file.
+  std::string command;
 
   uint32_t stack_size() const { return static_cast<uint32_t>(stack.size()); }
 

@@ -206,7 +206,17 @@ Status RestProcImpl(kernel::Kernel& k, kernel::Proc& p, const std::string& aout_
   // Rejoin the trace the dump was taken under (a restart tool invoked outside
   // any trace — e.g. undump by hand — adopts the dump's id).
   if (p.trace_id == 0) p.trace_id = stack.trace_id;
-  p.command = vfs::Basename(aout_path) + " (migrated)";
+  // A v4 dump carries the original command, so the migrant keeps its name; a
+  // process that hops repeatedly stays e.g. "worker (migrated)", not a chain of
+  // suffixes. Older dumps fall back to the dump-file basename.
+  constexpr std::string_view kMigratedSuffix = " (migrated)";
+  std::string base = stack.command.empty() ? vfs::Basename(aout_path) : stack.command;
+  if (base.size() < kMigratedSuffix.size() ||
+      base.compare(base.size() - kMigratedSuffix.size(), kMigratedSuffix.size(),
+                   kMigratedSuffix) != 0) {
+    base += kMigratedSuffix;
+  }
+  p.command = std::move(base);
   return Status::Ok();
 }
 

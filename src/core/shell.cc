@@ -89,6 +89,47 @@ void PtopBuiltin(kernel::SyscallApi& api) {
   Say(api, out);
 }
 
+// phealth: the cluster health monitor at a glance — SLO error budgets, firing
+// alerts, and per-host anomaly state. The monitor is cluster-wide, so any
+// host's shell sees the whole picture.
+void PhealthBuiltin(kernel::SyscallApi& api) {
+  const sim::HealthMonitor* monitor = api.kernel().health_monitor();
+  if (monitor == nullptr || !monitor->enabled()) {
+    Say(api,
+        "health monitor disabled; configure slos or health.anomaly_detection "
+        "on the cluster\n");
+    return;
+  }
+  auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+    return std::string(buf);
+  };
+  std::string out = api.GetHostname() + ": health monitor (active alerts=" +
+                    std::to_string(monitor->ActiveAlerts()) + ")\n";
+  for (const sim::HealthMonitor::BudgetStatus& b : monitor->Budgets()) {
+    out += "  slo " + b.slo->name + " host=" + b.host + ": " + std::to_string(b.bad) +
+           "/" + std::to_string(b.events) + " bad (budget " + fmt(b.allowed) +
+           ") burn fast=" + fmt(b.burn_fast) + "x slow=" + fmt(b.burn_slow) + "x";
+    if (b.firing_fast) out += " FIRING-FAST";
+    if (b.firing_slow) out += " FIRING-SLOW";
+    out += "\n";
+  }
+  for (const std::string& host : monitor->Hosts()) {
+    out += "  host " + host + ": score=" + fmt(monitor->HealthScore(host));
+    for (const std::string& metric : monitor->SeriesNames(host)) {
+      if (!monitor->Anomalous(host, metric)) continue;
+      out += " ANOMALY:" + metric + "(z=" + fmt(monitor->AnomalyZ(host, metric)) + ")";
+    }
+    out += "\n";
+  }
+  for (const sim::HealthAlert& a : monitor->alerts()) {
+    out += std::string("  alert ") + (a.resolved ? "[resolved] " : "[firing]  ") +
+           a.rule + " host=" + a.host + " " + a.detail + "\n";
+  }
+  Say(api, out);
+}
+
 // Reaps any finished background jobs; announces them like sh's "[n] Done".
 void ReapBackground(kernel::SyscallApi& api, std::vector<int32_t>* jobs) {
   kernel::Kernel& k = api.kernel();
@@ -230,10 +271,14 @@ int ShellMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {
       PtopBuiltin(api);
       continue;
     }
+    if (cmd == "phealth") {
+      PhealthBuiltin(api);
+      continue;
+    }
     if (cmd == "help") {
       Say(api,
-          "built-ins: cd pwd jobs pstat ptop exit help; commands run from the registry or "
-          "/bin\n");
+          "built-ins: cd pwd jobs pstat ptop phealth exit help; commands run from the "
+          "registry or /bin\n");
       continue;
     }
     RunCommand(api, tokens, background, &jobs);

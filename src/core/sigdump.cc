@@ -99,6 +99,7 @@ Result<kernel::PreparedDump> BuildSigdump(kernel::Kernel& k, kernel::Proc& p) {
   stack.old_pid = p.pid;
   stack.old_host = k.hostname();
   stack.trace_id = p.trace_id;
+  stack.command = p.command;
   const std::string stack_bytes = stack.Serialize();
 
   const DumpPaths paths = DumpPaths::For(p.pid);

@@ -198,6 +198,17 @@ int Dumpproc(kernel::SyscallApi& api, int32_t pid, bool tx, bool incremental) {
           appeared = true;
           break;
         }
+        // A dump the kernel aborted (disk full, corruption) resumed the
+        // process and will never produce files: stop waiting for them. ESRCH
+        // means the process is gone — the files may still be about to land, so
+        // keep polling for them.
+        const Result<bool> failed = api.DumpFailed(pid);
+        if (failed.ok() && *failed) {
+          Complain(api, "dumpproc: dump of " + std::to_string(pid) +
+                            " aborted by the kernel");
+          CleanupDumpFiles(api, paths);
+          return tx ? kToolTransient : kToolFail;
+        }
         api.Sleep(sim::Seconds(1));
       }
     }
@@ -231,10 +242,17 @@ int Dumpproc(kernel::SyscallApi& api, int32_t pid, bool tx, bool incremental) {
     if (!wrote.ok()) {
       const Status st = api.Unlink(tmp);
       (void)st;
-      CleanupDumpFiles(api, paths);
       Complain(api, "dumpproc: cannot rewrite " + paths.files + " (" +
                         std::string(ErrnoName(wrote.error())) + ")");
-      return IsTransientErrno(wrote.error()) ? kToolTransient : kToolFail;
+      if (IsTransientErrno(wrote.error())) {
+        // The write-to-temp scheme left the kernel's original filesXXXXX
+        // intact, and the process may already be dead — the dump set IS the
+        // process now. Keep it; a retried dumpproc resumes from it (the ESRCH
+        // + files-present path above) and redoes the idempotent rewrite.
+        return kToolTransient;
+      }
+      CleanupDumpFiles(api, paths);
+      return kToolFail;
     }
     return kToolOk;
   }
@@ -331,7 +349,11 @@ int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host,
       if (cfd.error() == Errno::kExist) return kToolClaimed;
       Complain(api, "restart: cannot claim " + paths.claim + " (" +
                         std::string(ErrnoName(cfd.error())) + ")");
-      return kToolFail;
+      // The dump set is fine; the claim just cannot land right now (the dump
+      // host's disk may be full — the very fault that strands dumps there).
+      // Report transient so the migrate retries instead of giving the process
+      // up for lost.
+      return IsTransientErrno(cfd.error()) ? kToolTransient : kToolFail;
     }
     const Status closed = api.Close(*cfd);
     (void)closed;
@@ -441,6 +463,14 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
   // only — it never consumes virtual time, so runs that never read the history
   // are bit-identical with or without it.
   auto record_outcome = [&](const std::string& host, const Result<int>& rc) {
+    const bool bad = !rc.ok() || *rc == kToolTransient;
+    // The health monitor sees every leg, local ones included: a host whose
+    // dumps start failing should trip its error-rate series no matter where
+    // the migrate command happens to run.
+    sim::HealthMonitor* monitor = net.health_monitor();
+    if (monitor != nullptr && monitor->enabled()) {
+      monitor->ObserveOutcome(host, "migrate.errors", bad);
+    }
     sim::FaultHistory* history = net.fault_history();
     if (history == nullptr || host == local) return;
     if (!rc.ok()) {
@@ -500,6 +530,17 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
   // Root span for the whole command; its self time (network round trips, waits on
   // the remote tools) is reported as "other" in the run report.
   kernel::TraceSpan total(api.kernel(), self, "migrate");
+  // End-to-end latency feed for the health monitor: successful migrations are
+  // attributed to the host the process landed on, so a destination that gets
+  // slow at receiving processes shows up on its own series.
+  const sim::Nanos e2e_start = api.kernel().clock().now();
+  auto observe_e2e = [&] {
+    sim::HealthMonitor* monitor = net.health_monitor();
+    if (monitor != nullptr && monitor->enabled()) {
+      monitor->Observe(to_host, "migrate.e2e_ns",
+                       static_cast<double>(api.kernel().clock().now() - e2e_start));
+    }
+  };
 
   std::vector<std::string> dump_args = {"-p", pid_str};
   if (opts.transactional) dump_args.push_back("--tx");
@@ -525,6 +566,7 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
   }
   if (rc.ok() && *rc == 0) {
     if (opts.transactional) CleanupDumpFiles(api, dump_paths);
+    observe_e2e();
     return kToolOk;
   }
   if (opts.transactional && rc.ok() && *rc == kToolClaimed) {
@@ -533,6 +575,7 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
     // winner a beat to finish reading the files, then sweep up.
     api.Sleep(sim::Seconds(1));
     CleanupDumpFiles(api, dump_paths);
+    observe_e2e();
     return kToolOk;
   }
   if (!opts.transactional) {
@@ -561,6 +604,24 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
   kernel::TraceSpan phase(api.kernel(), self, "restart");
   rc = run_leg(from_host, "restart",
                {"-p", pid_str, "-h", from_host, "--claim"});
+  // The fallback is the never-lose path. While the dump set is intact and the
+  // failures are transient (e.g. the source disk is still inside a full window,
+  // so nobody can write the claim file next to the dump), keep trying until the
+  // attempt timeout: the files are the process, and walking away from them over
+  // a condition that will pass turns a stuck disk into a lost process.
+  {
+    sim::Nanos backoff = opts.retry_backoff > 0 ? opts.retry_backoff : sim::Millis(500);
+    const sim::Nanos give_up = api.kernel().clock().now() +
+                               (opts.attempt_timeout > 0 ? opts.attempt_timeout
+                                                         : sim::Seconds(30));
+    while (rc.ok() && *rc == kToolTransient && api.kernel().clock().now() < give_up &&
+           FileExists(api, dump_paths.aout) && FileExists(api, dump_paths.files) &&
+           FileExists(api, dump_paths.stack)) {
+      api.Sleep(backoff);
+      backoff *= 2;
+      rc = run_leg(from_host, "restart", {"-p", pid_str, "-h", from_host, "--claim"});
+    }
+  }
   if (rc.ok() && (*rc == 0 || *rc == kToolClaimed)) {
     metrics.Inc("migrate.fallback_restarts");
     postmortem("fallback", "migrate of " + pid_str + " fell back; process restarted on " +
@@ -573,14 +634,16 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
                     ")" + tag("fallback"));
   postmortem("fallback",
              "fallback restart on " + from_host + " failed (" + describe(rc) + ")");
-  if (rc.ok()) {
+  if (rc.ok() && *rc != kToolTransient) {
     // The tool ran and rejected the dump set — it is unconsumable (corrupted,
     // truncated), so keeping it helps nobody; sweep it up.
     CleanupDumpFiles(api, dump_paths);
+    return kToolFail;
   }
-  // On a transport failure the files stay: they are the process now, and a
-  // later restart (or the next migrate of the same pid) can still recover it.
-  return kToolFail;
+  // On a transport failure or a still-transient refusal the files stay: they
+  // are the process now, and a later restart (or the next migrate of the same
+  // pid) can still recover it.
+  return rc.ok() ? kToolTransient : kToolFail;
 }
 
 // --- undump ------------------------------------------------------------------------

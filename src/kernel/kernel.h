@@ -32,6 +32,7 @@
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/flight_recorder.h"
+#include "src/sim/health_monitor.h"
 #include "src/sim/metrics.h"
 #include "src/sim/result.h"
 #include "src/sim/span.h"
@@ -190,6 +191,11 @@ class Kernel {
   // context alongside the spans.
   void set_flight_recorder(sim::FlightRecorder* recorder) { recorder_ = recorder; }
   sim::FlightRecorder* flight_recorder() { return recorder_; }
+  // Cluster-owned health monitor (null or disabled in default configs). The
+  // dump and restart paths feed it latency/byte series; like metrics it is
+  // observation-only and never charges cost.
+  void set_health_monitor(sim::HealthMonitor* monitor) { health_monitor_ = monitor; }
+  sim::HealthMonitor* health_monitor() { return health_monitor_; }
   // Cluster-owned fault injector (null or disabled in default configs). Also
   // hands it to the VFS so file-I/O syscalls can draw injected errors.
   void set_fault_injector(sim::FaultInjector* faults) {
@@ -275,6 +281,7 @@ class Kernel {
   // at exec). Same permission rule as kill(); ENOEXEC when the target's kernel
   // was built without dirty tracking or the target is not a VM process.
   Status SysSetDumpMode(Proc& p, int32_t pid, bool incremental);
+  Result<bool> SysDumpFailed(Proc& p, int32_t pid);
   Status SysSetReUid(Proc& p, int32_t ruid, int32_t euid);
   Status SysSignal(Proc& p, int signo, SignalDisposition disposition);
   Result<uint16_t> SysTtyGet(Proc& p, int fd);
@@ -386,6 +393,7 @@ class Kernel {
   sim::CounterHandle runnable_vm_metric_;
   sim::SpanLog* spans_ = nullptr;
   sim::FlightRecorder* recorder_ = nullptr;
+  sim::HealthMonitor* health_monitor_ = nullptr;
   sim::FaultInjector* faults_ = nullptr;
   MigrationHooks hooks_;
   const ProgramRegistry* programs_ = nullptr;
@@ -472,6 +480,10 @@ class SyscallApi : public vfs::CostSink {
   // setdumpmode(): arms (or disarms) incremental dumping for the target's next
   // SIGDUMP. Owner-or-superuser, like kill().
   Status SetDumpMode(int32_t target_pid, bool incremental);
+  // True when `target_pid`'s most recent SIGDUMP attempt aborted (disk full,
+  // corruption) and the process was resumed instead of dumped. Lets dumpproc
+  // fail fast rather than waiting out its whole dump-file poll.
+  Result<bool> DumpFailed(int32_t target_pid);
   Status SetReUid(int32_t ruid, int32_t euid);
   int32_t GetPid();
   int32_t GetPpid();

@@ -132,6 +132,12 @@ struct Proc {
   // the exec-time image) instead of a full one. Cleared by execve().
   bool dump_incremental = false;
 
+  // The last SIGDUMP attempt aborted (disk full, corruption, verification) and
+  // the process was resumed. Cleared when a new dump starts; read via the
+  // dumpfailed() syscall so dumpproc can bail out immediately instead of
+  // polling its full timeout for dump files that will never appear.
+  bool dump_failed = false;
+
   // Distributed-trace context (see sim::SpanLog): the trace this process
   // participates in, and its innermost open span — the parent for spans it
   // opens and for processes it spawns. Inherited via SpawnOptions, copied onto

@@ -33,9 +33,16 @@ Status Kernel::PostSignal(int32_t pid, int signo, Proc* sender) {
   // SIGDUMP is always sent by the migration machinery; hand the sender's
   // distributed-trace context to the victim so the kernel dump span (and the
   // dump metadata) join the originating migrate's trace.
-  if (signo == Sig::kSigDump && sender != nullptr && sender->trace_id != 0) {
-    target->trace_id = sender->trace_id;
-    target->trace_parent_span = sender->trace_parent_span;
+  if (signo == Sig::kSigDump) {
+    // A fresh dump request supersedes the previous attempt's failure flag.
+    // Cleared here at post time — not at delivery — so a dumpproc that kills
+    // and immediately polls dumpfailed() cannot read an earlier attempt's
+    // abort as its own and walk away from a dump that is about to succeed.
+    target->dump_failed = false;
+    if (sender != nullptr && sender->trace_id != 0) {
+      target->trace_id = sender->trace_id;
+      target->trace_parent_span = sender->trace_parent_span;
+    }
   }
   target->sig_pending |= (uint64_t{1} << signo);
   Trace(sim::TraceCategory::kSignal, pid,
@@ -122,6 +129,7 @@ void Kernel::DeliverSignal(Proc& p, int signo) {
 void Kernel::StartMigrationDump(Proc& p) {
   assert(p.kind == ProcKind::kVm);
   p.sig_pending = 0;
+  p.dump_failed = false;  // a fresh attempt; set again only if this one aborts
   if (!hooks_.sigdump) {
     // Kernel without the migration additions: SIGDUMP just kills.
     ExitInfo info;
@@ -141,6 +149,16 @@ void Kernel::StartMigrationDump(Proc& p) {
   ChargeCpu(p, prepared->cpu);
   metrics_.Inc("migration.dumps_started");
   metrics_.Observe("migration.dump_ns", prepared->cpu + prepared->wait);
+  if (health_monitor_ != nullptr && health_monitor_->enabled()) {
+    int64_t dump_bytes = 0;
+    for (const auto& [path, contents] : prepared->files) {
+      dump_bytes += static_cast<int64_t>(contents.size());
+    }
+    health_monitor_->Observe(hostname_, "migration.dump_ns",
+                             static_cast<double>(prepared->cpu + prepared->wait));
+    health_monitor_->Observe(hostname_, "migration.dump_bytes",
+                             static_cast<double>(dump_bytes));
+  }
   // The dying process spends (cpu + wait) producing the three files; they become
   // visible — and the process exits — when the dump completes. This is why
   // dumpproc has to poll for a.outXXXXX (Section 6.2).
@@ -198,6 +216,10 @@ void Kernel::StartMigrationDump(Proc& p) {
           }
           proc->state = ProcState::kRunnable;  // resume; the process is not lost
           proc->unblock_check = nullptr;
+          // Nothing can be written to disk to announce the failure (the disk
+          // may be the problem), so record it on the proc where dumpfailed()
+          // finds it.
+          proc->dump_failed = true;
           return;
         }
         if (spans_ != nullptr) spans_->End(span_id);

@@ -488,6 +488,17 @@ Status Kernel::SysSetDumpMode(Proc& p, int32_t pid, bool incremental) {
   return Status::Ok();
 }
 
+Result<bool> Kernel::SysDumpFailed(Proc& p, int32_t pid) {
+  Proc* target = FindProc(pid);
+  if (target == nullptr || !target->Alive()) return Errno::kSrch;
+  // Same visibility rule as setdumpmode(): superuser or owner only.
+  if (!p.creds.IsSuperuser() && p.creds.uid != target->creds.uid &&
+      p.creds.euid != target->creds.uid) {
+    return Errno::kPerm;
+  }
+  return target->dump_failed;
+}
+
 Status Kernel::SysSetReUid(Proc& p, int32_t ruid, int32_t euid) {
   if (!p.creds.IsSuperuser()) {
     const bool ruid_ok = ruid == -1 || ruid == p.creds.uid || ruid == p.creds.euid;
@@ -598,6 +609,10 @@ Status Kernel::SysRestProc(Proc& p, std::string_view aout_path, std::string_view
     timers_.rest_proc.valid = true;
     metrics_.Inc("migration.restarts");
     metrics_.Observe("migration.restart_ns", timers_.rest_proc.real);
+    if (health_monitor_ != nullptr && health_monitor_->enabled()) {
+      health_monitor_->Observe(hostname_, "migration.restart_ns",
+                               static_cast<double>(timers_.rest_proc.real));
+    }
     Trace(sim::TraceCategory::kMigration, p.pid,
           "rest_proc restored image from " + std::string(aout_path));
     // Let the I/O wait of reading the dump files elapse before the restored
@@ -1340,6 +1355,13 @@ Status SyscallApi::SetDumpMode(int32_t target_pid, bool incremental) {
   const Status st = kernel_->SysSetDumpMode(proc(), target_pid, incremental);
   FinishSyscall();
   return st;
+}
+
+Result<bool> SyscallApi::DumpFailed(int32_t target_pid) {
+  EnterSyscall();
+  const Result<bool> r = kernel_->SysDumpFailed(proc(), target_pid);
+  FinishSyscall();
+  return r;
 }
 
 Status SyscallApi::SetReUid(int32_t ruid, int32_t euid) {

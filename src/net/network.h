@@ -17,6 +17,7 @@
 #include "src/sim/cost_model.h"
 #include "src/sim/fault.h"
 #include "src/sim/fault_history.h"
+#include "src/sim/health_monitor.h"
 
 namespace pmig::net {
 
@@ -67,12 +68,19 @@ class Network {
   void set_fault_history(sim::FaultHistory* history) { fault_history_ = history; }
   sim::FaultHistory* fault_history() const { return fault_history_; }
 
+  // Cluster-wide health monitor (null when the network was built bare).
+  // migrate feeds it end-to-end latency and per-host error outcomes; the
+  // placement engine reads host health scores back. Observation only.
+  void set_health_monitor(sim::HealthMonitor* monitor) { health_monitor_ = monitor; }
+  sim::HealthMonitor* health_monitor() const { return health_monitor_; }
+
  private:
   const sim::CostModel* costs_;
   std::vector<kernel::Kernel*> hosts_;
   std::map<std::string, SpawnService*, std::less<>> spawn_services_;
   sim::FaultInjector* faults_ = nullptr;
   sim::FaultHistory* fault_history_ = nullptr;
+  sim::HealthMonitor* health_monitor_ = nullptr;
 };
 
 }  // namespace pmig::net

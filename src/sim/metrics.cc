@@ -48,6 +48,10 @@ void Histogram::MergeFrom(const Histogram& other) {
 Nanos Histogram::Percentile(double p) const {
   if (count == 0) return 0;
   p = std::min(std::max(p, 0.0), 100.0);
+  // The extremes are tracked exactly; only interior percentiles need the
+  // log2-bucket estimate.
+  if (p == 0.0) return min;
+  if (p == 100.0) return max;
   // Rank of the percentile observation, 1-based (nearest-rank definition).
   const int64_t rank = std::max<int64_t>(
       1, static_cast<int64_t>(static_cast<double>(count) * p / 100.0 + 0.5));

@@ -1,0 +1,74 @@
+#include "src/sim/time_series.h"
+
+#include <algorithm>
+
+namespace pmig::sim {
+
+void TimeSeries::Append(Nanos at, double value) {
+  ++appended_;
+  tiers_[0].push_back(SeriesPoint{at, value, 1});
+  // Cascade: when a tier overflows, its two oldest points merge into one point
+  // of the next-coarser tier. The merged point lands at the *back* of that tier
+  // (it is newer than everything already there), so every tier stays sorted.
+  for (size_t k = 0; k + 1 < tiers_.size(); ++k) {
+    if (tiers_[k].size() <= per_tier_) return;
+    SeriesPoint a = tiers_[k].front();
+    tiers_[k].pop_front();
+    SeriesPoint b = tiers_[k].front();
+    tiers_[k].pop_front();
+    SeriesPoint merged;
+    merged.count = a.count + b.count;
+    merged.value = (a.value * static_cast<double>(a.count) +
+                    b.value * static_cast<double>(b.count)) /
+                   static_cast<double>(merged.count);
+    merged.at = std::max(a.at, b.at);
+    tiers_[k + 1].push_back(merged);
+  }
+  // The coarsest tier has nowhere to fold into: the oldest history falls off.
+  std::deque<SeriesPoint>& last = tiers_.back();
+  while (last.size() > per_tier_) last.pop_front();
+}
+
+std::vector<SeriesPoint> TimeSeries::Points() const {
+  std::vector<SeriesPoint> out;
+  out.reserve(size());
+  for (size_t k = tiers_.size(); k-- > 0;) {
+    out.insert(out.end(), tiers_[k].begin(), tiers_[k].end());
+  }
+  return out;
+}
+
+size_t TimeSeries::size() const {
+  size_t n = 0;
+  for (const auto& tier : tiers_) n += tier.size();
+  return n;
+}
+
+const SeriesPoint& TimeSeries::Newest() const {
+  for (const auto& tier : tiers_) {
+    if (!tier.empty()) return tier.back();
+  }
+  return tiers_.back().back();  // empty series: caller's contract violation
+}
+
+TimeSeries::WindowStats TimeSeries::Over(Nanos since) const {
+  WindowStats stats;
+  double weighted_sum = 0;
+  for (const auto& tier : tiers_) {
+    for (const SeriesPoint& p : tier) {
+      if (p.at < since) continue;
+      if (stats.count == 0) {
+        stats.min = stats.max = p.value;
+      } else {
+        stats.min = std::min(stats.min, p.value);
+        stats.max = std::max(stats.max, p.value);
+      }
+      stats.count += p.count;
+      weighted_sum += p.value * static_cast<double>(p.count);
+    }
+  }
+  if (stats.count > 0) stats.mean = weighted_sum / static_cast<double>(stats.count);
+  return stats;
+}
+
+}  // namespace pmig::sim

@@ -1,0 +1,82 @@
+// Retained time series: a fixed-capacity ring with coarse downsampling tiers.
+//
+// The health monitor keeps per-host signal histories (migrate latency, dump
+// bytes, error rates, sampled load) for anomaly baselines, SLO accounting, and
+// the phealth view. A run can observe tens of thousands of points, so retention
+// is bounded the way a real TSDB bounds it: the newest points are kept raw, and
+// as the raw ring fills, the oldest points are folded pairwise into a coarser
+// tier (count-weighted means over 2, then 4, then 8... raw samples). Memory is
+// O(points_per_tier * tiers) regardless of run length, recent history stays
+// exact, and old history stays visible at reduced resolution instead of
+// vanishing.
+//
+// Appending is pure bookkeeping: no virtual time, no RNG, no clock reads — the
+// caller stamps every point — so a series that nobody reads can never perturb a
+// deterministic run.
+
+#ifndef PMIG_SRC_SIM_TIME_SERIES_H_
+#define PMIG_SRC_SIM_TIME_SERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace pmig::sim {
+
+// One retained point. Downsampled points summarise `count` raw samples: `value`
+// is their count-weighted mean and `at` the virtual time of the newest of them.
+struct SeriesPoint {
+  Nanos at = 0;
+  double value = 0;
+  int64_t count = 1;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(size_t points_per_tier = 64, size_t tiers = 3)
+      : per_tier_(points_per_tier > 2 ? points_per_tier : 2),
+        tiers_(tiers > 0 ? tiers : 1) {}
+
+  // Appends a raw point. `at` values must be non-decreasing (virtual time only
+  // moves forward); downsampling relies on it.
+  void Append(Nanos at, double value);
+
+  // Every retained point, oldest first (coarser tiers hold the older history,
+  // so they come before the raw ring). Timestamps are non-decreasing.
+  std::vector<SeriesPoint> Points() const;
+
+  // Retained points (not raw samples) across all tiers.
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+  // Raw samples ever appended; the counts of the retained points sum to at most
+  // this (exactly, until the coarsest tier starts evicting).
+  int64_t total_appended() const { return appended_; }
+  // The newest retained point. Undefined when empty.
+  const SeriesPoint& Newest() const;
+
+  // Count-weighted aggregate over retained points with at >= since. min/max are
+  // over retained point values (downsampled points already averaged their raw
+  // extremes away — coarse, as advertised).
+  struct WindowStats {
+    int64_t count = 0;  // raw samples represented
+    double mean = 0;
+    double min = 0;
+    double max = 0;
+  };
+  WindowStats Over(Nanos since) const;
+
+ private:
+  size_t per_tier_;
+  // tiers_[0] is the raw ring; tier k holds points representing ~2^k raw
+  // samples. Within a tier and from front of tier k+1 to back of tier k, time
+  // ascends.
+  std::vector<std::deque<SeriesPoint>> tiers_;
+  int64_t appended_ = 0;
+};
+
+}  // namespace pmig::sim
+
+#endif  // PMIG_SRC_SIM_TIME_SERIES_H_

@@ -87,7 +87,10 @@ TEST(MetricsRegistry, MergeFromAggregates) {
 
 TEST(MetricsRegistry, HistogramPercentiles) {
   sim::Histogram empty;
+  // Every percentile of an empty histogram is 0, including the extremes.
+  EXPECT_EQ(empty.Percentile(0), 0);
   EXPECT_EQ(empty.Percentile(50), 0);
+  EXPECT_EQ(empty.Percentile(100), 0);
 
   sim::MetricsRegistry m;
   m.set_enabled(true);
@@ -99,6 +102,7 @@ TEST(MetricsRegistry, HistogramPercentiles) {
   EXPECT_EQ(one->Percentile(0), sim::Millis(5));
   EXPECT_EQ(one->Percentile(50), sim::Millis(5));
   EXPECT_EQ(one->Percentile(99), sim::Millis(5));
+  EXPECT_EQ(one->Percentile(100), sim::Millis(5));
 
   m.Observe("two", sim::Millis(1));
   m.Observe("two", sim::Millis(100));
@@ -110,9 +114,29 @@ TEST(MetricsRegistry, HistogramPercentiles) {
   EXPECT_LT(two->Percentile(50), sim::Millis(2));
   EXPECT_GE(two->Percentile(95), sim::Millis(50));
   EXPECT_LE(two->Percentile(95), sim::Millis(100));
+  // p0 pins to the observed min, p100 to the observed max, and the estimate is
+  // monotone across the whole percentile chain in between.
+  EXPECT_EQ(two->Percentile(0), two->min);
+  EXPECT_EQ(two->Percentile(100), two->max);
+  EXPECT_LE(two->Percentile(0), two->Percentile(50));
   EXPECT_LE(two->Percentile(50), two->Percentile(95));
   EXPECT_LE(two->Percentile(95), two->Percentile(99));
-  EXPECT_LE(two->Percentile(99), two->max);
+  EXPECT_LE(two->Percentile(99), two->Percentile(100));
+
+  // A wider spread: monotone and range-clamped with many samples per bucket.
+  for (int i = 1; i <= 64; ++i) m.Observe("many", sim::Millis(i));
+  const sim::Histogram* many = m.FindHistogram("many");
+  ASSERT_NE(many, nullptr);
+  sim::Nanos prev = many->Percentile(0);
+  EXPECT_EQ(prev, many->min);
+  for (const int p : {10, 25, 50, 75, 90, 95, 99, 100}) {
+    const sim::Nanos v = many->Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    EXPECT_GE(v, many->min) << "p" << p;
+    EXPECT_LE(v, many->max) << "p" << p;
+    prev = v;
+  }
+  EXPECT_EQ(many->Percentile(100), many->max);
 }
 
 TEST(SpanLog, DisabledBeginReturnsZero) {
