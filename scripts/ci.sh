@@ -11,21 +11,21 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 
 echo "== tier-1 ctest =="
-(cd build && ctest --output-on-failure -j)
+(cd build && ctest --output-on-failure --timeout 300 -j)
 
 echo "== ASan build =="
 cmake -B build-asan -S . -DPMIG_SANITIZE=address >/dev/null
 cmake --build build-asan -j
 
 echo "== ASan ctest =="
-(cd build-asan && ctest --output-on-failure -j)
+(cd build-asan && ctest --output-on-failure --timeout 300 -j)
 
 echo "== UBSan build =="
 cmake -B build-ubsan -S . -DPMIG_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j
 
 echo "== UBSan ctest =="
-(cd build-ubsan && UBSAN_OPTIONS=halt_on_error=1 ctest --output-on-failure -j)
+(cd build-ubsan && UBSAN_OPTIONS=halt_on_error=1 ctest --output-on-failure --timeout 300 -j)
 
 echo "== phase-drift gate =="
 ./build/bench/check_phases --fig4 ./build/bench/fig4_migrate \
@@ -40,6 +40,9 @@ echo "== observability bit-identical gates =="
 
 echo "== health-monitor gate =="
 ./build/bench/ablation_health --check
+
+echo "== partition gate =="
+./build/bench/ablation_partition --check
 
 echo "== bench JSON schema gate =="
 ./build/bench/check_bench_json bench/baselines

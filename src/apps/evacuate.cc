@@ -1,5 +1,6 @@
 #include "src/apps/evacuate.h"
 
+#include "src/apps/recovery.h"
 #include "src/core/tools.h"
 
 namespace pmig::apps {
@@ -23,7 +24,8 @@ EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
                               std::string_view from_host, std::string_view to_host,
                               bool use_daemon, const core::MigrateOptions& opts,
                               PlacementPolicy policy, double fault_threshold,
-                              double health_threshold) {
+                              double health_threshold, bool lease_targets,
+                              sim::Nanos lease_ttl) {
   EvacuationReport report;
   kernel::Kernel* from = net.FindHost(from_host);
   if (from == nullptr) return report;
@@ -42,6 +44,8 @@ EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
       continue;
     }
     std::string target(to_host);
+    PlacementLease lease;
+    bool have_lease = false;
     if (target.empty()) {
       PlacementQuery query;
       query.from_host = std::string(from_host);
@@ -49,18 +53,39 @@ EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
       query.fault_threshold = fault_threshold;
       query.health_threshold = health_threshold;
       query.occupancy = true;  // count earlier evacuees even before they reschedule
-      target = engine.PickTarget(query);
+      // Like the balancer: with leasing on, a pick must also be won. Contended
+      // targets are excluded and the query re-run, so a concurrent coordinator
+      // cannot receive the same flood of evacuees.
+      for (size_t tries = 0; tries <= net.hosts().size(); ++tries) {
+        target = engine.PickTarget(query);
+        if (target.empty() || !lease_targets) break;
+        LeaseOptions lopts;
+        lopts.ttl = lease_ttl;
+        const Result<PlacementLease> acquired =
+            AcquirePlacementLease(api, net, target, lopts);
+        if (acquired.ok() && acquired->held) {
+          lease = *acquired;
+          have_lease = true;
+          break;
+        }
+        ++report.lease_conflicts;
+        query.exclude.push_back(target);
+        target.clear();
+      }
       if (target.empty()) {
         report.unplaced.push_back(pid);
+        api.kernel().metrics().Inc("evacuate.unplaced");
         continue;
       }
     }
     const int rc = core::Migrate(api, net, pid, std::string(from_host), target,
                                  use_daemon, opts);
+    if (have_lease) ReleasePlacementLease(api, lease);
     if (rc == 0) {
       report.moved.push_back(pid);
     } else {
       report.failed.push_back(pid);
+      api.kernel().metrics().Inc("evacuate.failed");
     }
   }
   return report;

@@ -19,11 +19,30 @@
 
 namespace pmig::apps {
 
+// Distinct overall exit statuses (see EvacuationReport::Status). kUnplaced is
+// deliberately outside the tool exit-code range (0..5): an evacuation that
+// left processes stranded on the host with no target is not a success and not
+// an ordinary failure — the caller must re-drive placement (retry later, relax
+// thresholds, or hand the survivors to the reaper).
+constexpr int kEvacuateOk = 0;
+constexpr int kEvacuateFailed = 1;
+constexpr int kEvacuateUnplaced = 6;
+
 struct EvacuationReport {
   std::vector<int32_t> moved;        // migrated successfully
   std::vector<int32_t> unmovable;    // skipped: sockets / children (Section 7)
   std::vector<int32_t> failed;       // migration attempted but failed
   std::vector<int32_t> unplaced;     // engine found no eligible target (not attempted)
+  int lease_conflicts = 0;           // target re-picked because its lease was held
+
+  // kEvacuateUnplaced when anything was left with no target (dominates: those
+  // processes are still on the dying host), else kEvacuateFailed when any
+  // migration failed, else kEvacuateOk.
+  int Status() const {
+    if (!unplaced.empty()) return kEvacuateUnplaced;
+    if (!failed.empty()) return kEvacuateFailed;
+    return kEvacuateOk;
+  }
 };
 
 // Moves every eligible VM process from `from_host` to `to_host`. The caller must
@@ -38,13 +57,25 @@ struct EvacuationReport {
 // fault-aware policies, one with a bad recent track record or a health-monitor
 // score at or above `health_threshold`). Processes with no eligible target are
 // reported as `unplaced` and receive no migrate attempt.
+//
+// With `lease_targets`, each auto-placed pick is held under the target's
+// placement lease for the duration of its migration (contended targets are
+// excluded and the pick re-run), so an evacuation and a balancer — or two
+// evacuations — cannot dog-pile one receiving host.
+//
+// The returned report's Status() is the command-style verdict: unplaced
+// processes make the whole evacuation kEvacuateUnplaced (nonzero), never a
+// silent success. Per-host `evacuate.unplaced` / `evacuate.failed` counters
+// surface the same facts in the cluster run report.
 EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
                               std::string_view from_host, std::string_view to_host,
                               bool use_daemon = true,
                               const core::MigrateOptions& opts = {},
                               PlacementPolicy policy = PlacementPolicy::kLoadOnly,
                               double fault_threshold = 0.5,
-                              double health_threshold = 1.0);
+                              double health_threshold = 1.0,
+                              bool lease_targets = false,
+                              sim::Nanos lease_ttl = sim::Seconds(30));
 
 }  // namespace pmig::apps
 

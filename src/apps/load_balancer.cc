@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/apps/recovery.h"
 #include "src/core/tools.h"
 
 namespace pmig::apps {
@@ -66,10 +67,32 @@ LoadBalancerStats RunLoadBalancer(kernel::SyscallApi& api, net::Network& net,
     query.from_host = busiest->first;
     query.pid = victim;
     query.fault_threshold = options.fault_threshold;
-    const std::string target = engine.PickTarget(query);
+    // With leasing on, the pick must also be won: a target whose placement
+    // lease another coordinator holds is excluded and the query re-run, so
+    // concurrent balancers spread across targets instead of thundering onto
+    // the one idlest host.
+    std::string target;
+    PlacementLease lease;
+    bool have_lease = false;
+    for (size_t tries = 0; tries <= net.hosts().size(); ++tries) {
+      target = engine.PickTarget(query);
+      if (target.empty() || !options.lease_targets) break;
+      LeaseOptions lopts;
+      lopts.ttl = options.lease_ttl;
+      const Result<PlacementLease> acquired =
+          AcquirePlacementLease(api, net, target, lopts);
+      if (acquired.ok() && acquired->held) {
+        lease = *acquired;
+        have_lease = true;
+        break;
+      }
+      ++stats.lease_conflicts;
+      query.exclude.push_back(target);
+      target.clear();
+    }
     if (target.empty()) {
-      // Imbalanced, but every other host is down or fault-excluded. Wait for
-      // one to come back (or for a failing host's score to decay).
+      // Imbalanced, but every other host is down, fault-excluded, or leased
+      // away. Wait for one to come back (or for a lease/score to lapse).
       ++stats.no_target_rounds;
       api.Sleep(options.poll_interval);
       continue;
@@ -79,6 +102,7 @@ LoadBalancerStats RunLoadBalancer(kernel::SyscallApi& api, net::Network& net,
     }
     const int rc = core::Migrate(api, net, victim, busiest->first, target,
                                  options.use_daemon, options.migrate);
+    if (have_lease) ReleasePlacementLease(api, lease);
     if (rc == 0) {
       ++stats.migrations;
     } else if (rc == core::kMigrateFellBack) {

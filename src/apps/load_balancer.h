@@ -43,6 +43,13 @@ struct LoadBalancerOptions {
   // the paper's one-shot command; pass core::MigrateOptions::Robust() to make
   // every balancer migration a never-lose-a-process transaction.
   core::MigrateOptions migrate;
+  // Hold the target's placement lease (apps::AcquirePlacementLease) across
+  // each migration, re-picking with the contended host excluded when another
+  // coordinator already holds it — so two balancers on different hosts stop
+  // dog-piling the same idle machine. Off by default: single-coordinator runs
+  // are untouched (and bit-identical).
+  bool lease_targets = false;
+  sim::Nanos lease_ttl = sim::Seconds(30);
 };
 
 struct LoadBalancerStats {
@@ -52,6 +59,7 @@ struct LoadBalancerStats {
   int fallback_restarts = 0;  // transactional migrate restarted on the source
   int no_target_rounds = 0;   // imbalance seen but no eligible target existed
   int attempts_to_down = 0;   // chosen target was down at migrate time (bug if >0)
+  int lease_conflicts = 0;    // target re-picked because its lease was held
   // One "pid:from->to=rc;" entry per migrate call, in order — the decision
   // sequence, for determinism/equivalence tests and the ablation bench.
   std::string decisions;

@@ -1,5 +1,6 @@
 #include "src/apps/night_shift.h"
 
+#include "src/apps/recovery.h"
 #include "src/core/tools.h"
 
 namespace pmig::apps {
@@ -39,36 +40,71 @@ NightShiftStats RunNightShift(kernel::SyscallApi& api, net::Network& net,
     size_t moved_to_target = 0;
     for (size_t i = share; i < jobs.size(); ++i) {
       std::string target;
+      PlacementLease lease;
+      bool have_lease = false;
+      LeaseOptions lopts;
+      lopts.ttl = options.lease_ttl;
       if (options.policy == PlacementPolicy::kLoadOnly) {
         // Advance past filled shares, and drop any target that crashed since
         // dusk began — a dead machine must receive zero migration attempts.
-        while (!eligible.empty()) {
-          if (eligible[target_index]->down()) {
-            eligible.erase(eligible.begin() + static_cast<ptrdiff_t>(target_index));
-            if (eligible.empty()) break;
-            target_index %= eligible.size();
-            moved_to_target = 0;
-            continue;
+        // With leasing on, a contended target is rotated past the same way a
+        // filled share is: the walk simply moves to the next eligible host.
+        for (size_t tries = 0; tries <= eligible.size(); ++tries) {
+          while (!eligible.empty()) {
+            if (eligible[target_index]->down()) {
+              eligible.erase(eligible.begin() + static_cast<ptrdiff_t>(target_index));
+              if (eligible.empty()) break;
+              target_index %= eligible.size();
+              moved_to_target = 0;
+              continue;
+            }
+            if (moved_to_target >= share) {
+              target_index = (target_index + 1) % eligible.size();
+              moved_to_target = 0;
+              continue;
+            }
+            break;
           }
-          if (moved_to_target >= share) {
-            target_index = (target_index + 1) % eligible.size();
-            moved_to_target = 0;
-            continue;
+          if (eligible.empty()) break;
+          target = eligible[target_index]->hostname();
+          if (!options.lease_targets) break;
+          const Result<PlacementLease> acquired =
+              AcquirePlacementLease(api, net, target, lopts);
+          if (acquired.ok() && acquired->held) {
+            lease = *acquired;
+            have_lease = true;
+            break;
           }
-          break;
+          ++stats.lease_conflicts;
+          target_index = (target_index + 1) % eligible.size();
+          moved_to_target = 0;
+          target.clear();
         }
-        if (eligible.empty()) break;  // nowhere left to spread; jobs stay home
-        target = eligible[target_index]->hostname();
+        if (target.empty()) break;  // nowhere left to spread; jobs stay home
       } else {
         PlacementQuery query;
         query.from_host = options.day_host;
         query.pid = jobs[i];
         query.fault_threshold = options.fault_threshold;
-        target = engine.PickTarget(query);
+        for (size_t tries = 0; tries <= hosts.size(); ++tries) {
+          target = engine.PickTarget(query);
+          if (target.empty() || !options.lease_targets) break;
+          const Result<PlacementLease> acquired =
+              AcquirePlacementLease(api, net, target, lopts);
+          if (acquired.ok() && acquired->held) {
+            lease = *acquired;
+            have_lease = true;
+            break;
+          }
+          ++stats.lease_conflicts;
+          query.exclude.push_back(target);
+          target.clear();
+        }
         if (target.empty()) break;  // no eligible target; jobs stay home
       }
       const int rc = core::Migrate(api, net, jobs[i], options.day_host, target,
                                    options.use_daemon, options.migrate);
+      if (have_lease) ReleasePlacementLease(api, lease);
       if (rc == 0) {
         ++stats.spread_migrations;
         ++moved_to_target;

@@ -38,6 +38,11 @@ struct NightShiftOptions {
   // Passed through to every core::Migrate call (dusk and dawn). Default is the
   // one-shot command; core::MigrateOptions::Robust() makes each a transaction.
   core::MigrateOptions migrate;
+  // Hold each spread target's placement lease across its migration, skipping
+  // (kLoadOnly) or excluding (engine policies) targets another coordinator
+  // holds. Off by default: solo runs are untouched (and bit-identical).
+  bool lease_targets = false;
+  sim::Nanos lease_ttl = sim::Seconds(30);
 };
 
 struct NightShiftStats {
@@ -48,6 +53,7 @@ struct NightShiftStats {
   // Dawn gathers that failed or could not be attempted — each is a job visibly
   // stranded on a night host instead of silently uncounted.
   int failed_gather = 0;
+  int lease_conflicts = 0;     // dusk target skipped because its lease was held
 };
 
 // Pids of live batch-uid VM processes on `host`.

@@ -119,6 +119,14 @@ std::vector<CandidateScore> PlacementEngine::Score(const PlacementQuery& query) 
   const sim::FaultHistory* history = net_->fault_history();
   for (kernel::Kernel* host : net_->hosts()) {
     if (host->down() || host->hostname() == query.from_host) continue;
+    bool excluded = false;
+    for (const std::string& name : query.exclude) {
+      if (name == host->hostname()) {
+        excluded = true;
+        break;
+      }
+    }
+    if (excluded) continue;
     CandidateScore s;
     s.host = host->hostname();
     s.load = query.occupancy ? AliveVmCount(*host) : HostLoad(*host);

@@ -66,6 +66,10 @@ struct PlacementQuery {
   // the run queue, and counting occupancy keeps consecutive picks from stacking
   // onto the same host. The balancer keeps the classic run-queue signal.
   bool occupancy = false;
+  // Hosts to leave out entirely — a coordinator that failed to win a target's
+  // placement lease re-picks with the loser added here, so lease contention
+  // spreads the herd instead of deadlocking it.
+  std::vector<std::string> exclude;
 };
 
 // One candidate's signals, in network host order.

@@ -1,0 +1,503 @@
+#include "src/apps/recovery.h"
+
+#include <set>
+
+#include "src/core/dump_format.h"
+#include "src/net/migration_daemon.h"
+#include "src/net/rsh.h"
+
+namespace pmig::apps {
+
+namespace {
+
+using vm::abi::OpenFlags;
+
+std::string LeasePath(const std::string& local, const std::string& target) {
+  const std::string dir =
+      target == local ? std::string(kLeaseDir) : "/n/" + target + kLeaseDir;
+  return dir + "/placement";
+}
+
+Result<std::string> ReadWholeFile(kernel::SyscallApi& api, const std::string& path) {
+  PMIG_TRY(int fd, api.Open(path, OpenFlags::kORdOnly));
+  Result<std::string> bytes = api.ReadAll(fd);
+  const Status closed = api.Close(fd);
+  (void)closed;
+  return bytes;
+}
+
+struct LeaseRecord {
+  std::string holder;
+  sim::Nanos expires = -1;
+};
+
+LeaseRecord ParseLease(const std::string& bytes) {
+  LeaseRecord out;
+  std::string cur;
+  std::vector<std::string> tokens;
+  for (char c : bytes) {
+    if (c == ' ' || c == '\n' || c == '\t') {
+      if (!cur.empty()) tokens.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) tokens.push_back(cur);
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i] == "holder") out.holder = tokens[i + 1];
+    if (tokens[i] == "expires") {
+      out.expires = static_cast<sim::Nanos>(std::atoll(tokens[i + 1].c_str()));
+    }
+  }
+  return out;
+}
+
+Status WriteLease(kernel::SyscallApi& api, int fd, const std::string& holder,
+                  sim::Nanos expires) {
+  const Result<int64_t> n = api.Write(
+      fd, "holder " + holder + " expires " + std::to_string(expires) + "\n");
+  if (!n.ok()) return n.error();
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<PlacementLease> AcquirePlacementLease(kernel::SyscallApi& api,
+                                             net::Network& net,
+                                             const std::string& target,
+                                             const LeaseOptions& opts) {
+  const std::string local = api.GetHostname();
+  const std::string path = LeasePath(local, target);
+  sim::MetricsRegistry& metrics = api.kernel().metrics();
+  // A target that is down or on the far side of a partition must fail the
+  // acquisition outright (EHOSTUNREACH from the NFS walk), never wedge.
+  kernel::Kernel* remote = net.FindHost(target);
+  if (remote == nullptr || remote->down()) return Errno::kHostUnreach;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const Result<int> fd = api.Open(
+        path, OpenFlags::kOWrOnly | OpenFlags::kOCreat | OpenFlags::kOExcl, 0600);
+    if (fd.ok()) {
+      PlacementLease lease;
+      lease.target = target;
+      lease.holder = local;
+      lease.expires = api.Now() + opts.ttl;
+      lease.held = true;
+      const Status wrote = WriteLease(api, *fd, local, lease.expires);
+      const Status closed = api.Close(*fd);
+      (void)closed;
+      if (!wrote.ok()) {
+        // A lease file we cannot stamp is worse than none: break it.
+        const Status st = api.Unlink(path);
+        (void)st;
+        return wrote.error();
+      }
+      metrics.Inc("lease.acquired");
+      return lease;
+    }
+    if (fd.error() != Errno::kExist) return fd.error();
+    const Result<std::string> bytes = ReadWholeFile(api, path);
+    if (!bytes.ok()) {
+      // Unlinked between our create and read: go around and try again.
+      if (bytes.error() == Errno::kNoEnt) continue;
+      return bytes.error();
+    }
+    const LeaseRecord rec = ParseLease(*bytes);
+    if (rec.expires >= 0 && api.Now() >= rec.expires) {
+      // The holder sat on an expired lease (crashed, partitioned, or just
+      // slow): break it and retry the exclusive create once.
+      const Status st = api.Unlink(path);
+      (void)st;
+      metrics.Inc("lease.broken");
+      continue;
+    }
+    PlacementLease lease;
+    lease.target = target;
+    lease.holder = rec.holder;
+    lease.expires = rec.expires;
+    lease.held = false;
+    metrics.Inc("lease.contended");
+    return lease;
+  }
+  // Lost the post-break race twice: report contention, not an error.
+  PlacementLease lease;
+  lease.target = target;
+  metrics.Inc("lease.contended");
+  return lease;
+}
+
+Status RenewPlacementLease(kernel::SyscallApi& api, PlacementLease* lease,
+                           const LeaseOptions& opts) {
+  if (lease == nullptr || !lease->held) return Errno::kAcces;
+  const std::string local = api.GetHostname();
+  const std::string path = LeasePath(local, lease->target);
+  const Result<std::string> bytes = ReadWholeFile(api, path);
+  if (!bytes.ok()) return bytes.error();
+  if (ParseLease(*bytes).holder != local) {
+    // Somebody broke our expired lease and took it; we no longer hold it.
+    lease->held = false;
+    return Errno::kAcces;
+  }
+  const sim::Nanos expires = api.Now() + opts.ttl;
+  PMIG_TRY(int fd, api.Creat(path, 0600));
+  const Status wrote = WriteLease(api, fd, local, expires);
+  const Status closed = api.Close(fd);
+  (void)closed;
+  if (!wrote.ok()) return wrote.error();
+  lease->expires = expires;
+  api.kernel().metrics().Inc("lease.renewed");
+  return Status::Ok();
+}
+
+void ReleasePlacementLease(kernel::SyscallApi& api, const PlacementLease& lease) {
+  if (!lease.held) return;
+  const std::string local = api.GetHostname();
+  const std::string path = LeasePath(local, lease.target);
+  const Result<std::string> bytes = ReadWholeFile(api, path);
+  if (!bytes.ok() || ParseLease(*bytes).holder != local) return;
+  const Status st = api.Unlink(path);
+  (void)st;
+  api.kernel().metrics().Inc("lease.released");
+}
+
+// --- Orphan dump-set reaper ---------------------------------------------------
+
+namespace {
+
+bool PathExists(kernel::SyscallApi& api, const std::string& path) {
+  return api.Stat(path).ok();
+}
+
+core::DumpMarker ReadMarker(kernel::SyscallApi& api, const std::string& path) {
+  const Result<std::string> bytes = ReadWholeFile(api, path);
+  if (!bytes.ok()) return {};
+  return core::ParseDumpMarker(*bytes);
+}
+
+void RemoveDumpSet(kernel::SyscallApi& api, const core::DumpPaths& paths) {
+  for (const std::string* p : {&paths.aout, &paths.files, &paths.stack,
+                               &paths.ready, &paths.claim}) {
+    const Status st = api.Unlink(*p);
+    (void)st;
+  }
+}
+
+// A live migrated process anywhere (reachable) whose pre-migration identity is
+// (pid, dump_host): the dump set was consumed; the process survives elsewhere.
+bool SurvivorExists(net::Network& net, const std::string& local,
+                    const std::string& dump_host, int32_t pid) {
+  for (kernel::Kernel* h : net.hosts()) {
+    if (h->down() || !net.Reachable(local, h->hostname())) continue;
+    for (kernel::Proc* p : h->ListProcs()) {
+      if (p->kind != kernel::ProcKind::kVm || !p->Alive()) continue;
+      if (p->old_pid == pid && p->old_host == dump_host) return true;
+    }
+  }
+  return false;
+}
+
+// All pids with any dump-set file ("a.out"/"files"/"stack"/"ready"/"claim" +
+// digits) in `dir`, in ascending order — the scan is deterministic because
+// directory entries iterate sorted.
+std::set<int32_t> DumpSetPids(kernel::SyscallApi& api, const std::string& dir) {
+  std::set<int32_t> pids;
+  const Result<std::vector<std::string>> names = api.ReadDir(dir);
+  if (!names.ok()) return pids;
+  for (const std::string& name : *names) {
+    for (const char* prefix : {"a.out", "files", "stack", "ready", "claim"}) {
+      const size_t len = std::string(prefix).size();
+      if (name.size() <= len || name.compare(0, len, prefix) != 0) continue;
+      bool digits = true;
+      for (size_t i = len; i < name.size(); ++i) {
+        if (name[i] < '0' || name[i] > '9') {
+          digits = false;
+          break;
+        }
+      }
+      if (!digits) continue;
+      pids.insert(static_cast<int32_t>(std::atoi(name.c_str() + len)));
+      break;
+    }
+  }
+  return pids;
+}
+
+struct ReapContext {
+  kernel::SyscallApi& api;
+  net::Network& net;
+  const ReaperOptions& opts;
+  ReaperState* state;
+  ReaperReport* report;
+  std::string local;
+};
+
+void Note(ReapContext& ctx, int32_t pid, const std::string& host,
+          const char* action) {
+  ctx.report->log += std::to_string(pid) + "@" + host + ":" + action + ";";
+}
+
+Result<int> RunRestart(ReapContext& ctx, const std::string& target,
+                       int32_t pid, const std::string& dump_host) {
+  std::vector<std::string> args = {"-p", std::to_string(pid), "-h", dump_host,
+                                   "--claim"};
+  if (target == ctx.local) {
+    PMIG_TRY(int32_t child, ctx.api.SpawnProgram("restart", std::move(args)));
+    (void)child;
+    PMIG_TRY(kernel::WaitResult wr, ctx.api.Wait());
+    return wr.overlaid ? 0 : wr.info.exit_code;
+  }
+  net::RemoteExecOptions remote_opts;
+  if (ctx.opts.attempt_timeout > 0) remote_opts.timeout = ctx.opts.attempt_timeout;
+  return ctx.opts.use_daemon
+             ? net::DaemonExec(ctx.api, ctx.net, target, "restart",
+                               std::move(args), remote_opts)
+             : net::Rsh(ctx.api, ctx.net, target, "restart", std::move(args),
+                        remote_opts);
+}
+
+// Re-drives the restart of a stale, unclaimed (or just-unclaimed) dump set on
+// a placement-chosen reachable host, holding the target's lease while the
+// restart runs. restart --claim's O_EXCL is the actual mutex against every
+// other concurrent consumer — a racing coordinator's restart loses the claim
+// and bows out.
+void Revive(ReapContext& ctx, const std::string& host, const std::string& dir,
+            int32_t pid, const core::DumpPaths& paths) {
+  PlacementEngine engine(&ctx.net, ctx.opts.policy);
+  PlacementQuery query;
+  query.from_host = host;
+  query.fault_threshold = ctx.opts.fault_threshold;
+  query.health_threshold = ctx.opts.health_threshold;
+  query.occupancy = true;
+  const size_t max_tries = ctx.net.hosts().size();
+  for (size_t i = 0; i < max_tries; ++i) {
+    std::string target = engine.PickTarget(query);
+    if (target.empty()) {
+      // No other host qualifies; the dump host itself (alive — we just read
+      // its disk) is the fallback, as with migrate's source restart.
+      target = host;
+    }
+    if (target != ctx.local && !ctx.net.Reachable(ctx.local, target)) {
+      if (target == host) break;
+      query.exclude.push_back(target);
+      continue;
+    }
+    PlacementLease lease;
+    if (ctx.opts.use_lease) {
+      Result<PlacementLease> acquired =
+          AcquirePlacementLease(ctx.api, ctx.net, target, ctx.opts.lease);
+      if (!acquired.ok() || !acquired->held) {
+        if (target == host) break;  // nowhere left to go this pass
+        query.exclude.push_back(target);
+        continue;
+      }
+      lease = *acquired;
+    }
+    const Result<int> rc = RunRestart(ctx, target, pid, host);
+    if (ctx.opts.use_lease) ReleasePlacementLease(ctx.api, lease);
+    if (rc.ok() && *rc == 0) {
+      ctx.api.kernel().metrics().Inc("reaper.revived");
+      RemoveDumpSet(ctx.api, paths);
+      ctx.report->revived.push_back(pid);
+      Note(ctx, pid, host, "revived");
+      return;
+    }
+    if (rc.ok() && *rc == core::kToolClaimed) {
+      // A concurrent consumer won the claim mid-pass; the process is in
+      // better-informed hands. Leave the sweep to the winner.
+      ctx.report->skipped.push_back(pid);
+      Note(ctx, pid, host, "lost-claim");
+      return;
+    }
+    // Transient or hard failure: keep the set for the next pass rather than
+    // guessing. (A hard restart failure with a valid-looking set usually
+    // means the set is unconsumable; the next pass's survivor/age checks
+    // keep it from living forever.)
+    ctx.report->skipped.push_back(pid);
+    Note(ctx, pid, host, "revive-failed");
+    return;
+  }
+  ctx.report->skipped.push_back(pid);
+  Note(ctx, pid, host, "no-target");
+}
+
+void ReapOne(ReapContext& ctx, const std::string& host, const std::string& dir,
+             int32_t pid) {
+  ++ctx.report->scanned;
+  const core::DumpPaths paths = core::DumpPaths::For(pid, dir);
+  const sim::Nanos now = ctx.api.Now();
+
+  // The origin process still running means there is no orphan here — the dump
+  // is mid-flight (dumpproc polling) or already resumed after an abort.
+  kernel::Kernel* owner = ctx.net.FindHost(host);
+  if (owner != nullptr) {
+    kernel::Proc* p = owner->FindProc(pid);
+    if (p != nullptr && p->Alive()) {
+      ctx.report->skipped.push_back(pid);
+      Note(ctx, pid, host, "origin-alive");
+      return;
+    }
+  }
+
+  // A survivor elsewhere means the set was consumed and only its GC was cut
+  // short (e.g. the consumer lost the source's disk to a partition right
+  // after committing): collect it.
+  if (SurvivorExists(ctx.net, ctx.local, host, pid)) {
+    RemoveDumpSet(ctx.api, paths);
+    ctx.api.kernel().metrics().Inc("reaper.collected");
+    ctx.report->collected.push_back(pid);
+    Note(ctx, pid, host, "consumed");
+    return;
+  }
+
+  // Incomplete set (no ready marker): no timestamp to age it by, so it is
+  // only debris once it has sat unchanged across a full grace period of
+  // passes. One-shot runs (no state) must leave it alone — it may be a dump
+  // landing right now.
+  if (!PathExists(ctx.api, paths.ready)) {
+    if (ctx.state == nullptr) {
+      ctx.report->skipped.push_back(pid);
+      Note(ctx, pid, host, "incomplete");
+      return;
+    }
+    const std::string key = host + ":" + std::to_string(pid);
+    auto it = ctx.state->find(key);
+    if (it == ctx.state->end()) {
+      (*ctx.state)[key] = now;
+      ctx.report->skipped.push_back(pid);
+      Note(ctx, pid, host, "incomplete-first-seen");
+      return;
+    }
+    if (now - it->second < ctx.opts.grace) {
+      ctx.report->skipped.push_back(pid);
+      Note(ctx, pid, host, "incomplete-young");
+      return;
+    }
+    ctx.state->erase(it);
+    RemoveDumpSet(ctx.api, paths);
+    ctx.api.kernel().metrics().Inc("reaper.collected");
+    ctx.report->collected.push_back(pid);
+    Note(ctx, pid, host, "debris");
+    return;
+  }
+
+  // Complete set. Too young to touch?
+  const core::DumpMarker ready = ReadMarker(ctx.api, paths.ready);
+  if (ready.at >= 0 && now - ready.at < ctx.opts.grace) {
+    ctx.report->skipped.push_back(pid);
+    Note(ctx, pid, host, "young");
+    return;
+  }
+
+  if (PathExists(ctx.api, paths.claim)) {
+    const core::DumpMarker claim = ReadMarker(ctx.api, paths.claim);
+    if (!claim.host.empty()) {
+      kernel::Kernel* holder = ctx.net.FindHost(claim.host);
+      const bool reachable = holder != nullptr && !holder->down() &&
+                             ctx.net.Reachable(ctx.local, claim.host);
+      if (!reachable) {
+        // THE exactly-once rule: the holder may be running this process on
+        // the far side of a partition. Hands off until it is observable.
+        ctx.report->skipped.push_back(pid);
+        Note(ctx, pid, host, "holder-unreachable");
+        return;
+      }
+      if (claim.at >= 0 && now - claim.at < ctx.opts.grace) {
+        ctx.report->skipped.push_back(pid);
+        Note(ctx, pid, host, "claim-fresh");
+        return;
+      }
+    }
+    // The holder is reachable, no survivor exists anywhere we can see, and
+    // the claim has gone stale: the claimant died between claiming and
+    // committing. Break the claim under the dump host's lease (serialising
+    // concurrent reapers over this host's sets) and re-drive the restart.
+    PlacementLease breaker;
+    if (ctx.opts.use_lease) {
+      Result<PlacementLease> acquired =
+          AcquirePlacementLease(ctx.api, ctx.net, host, ctx.opts.lease);
+      if (!acquired.ok() || !acquired->held) {
+        ctx.report->skipped.push_back(pid);
+        Note(ctx, pid, host, "break-contended");
+        return;
+      }
+      breaker = *acquired;
+    }
+    const Status st = ctx.api.Unlink(paths.claim);
+    (void)st;
+    ctx.api.kernel().metrics().Inc("reaper.claims_broken");
+    // With the stale claim gone, restart --claim's O_EXCL is the mutex again;
+    // release the serialising lease before reviving so the revive may lease
+    // the dump host itself as a target.
+    if (ctx.opts.use_lease) ReleasePlacementLease(ctx.api, breaker);
+    Revive(ctx, host, dir, pid, paths);
+    return;
+  }
+
+  // Ready, unclaimed, stale, no survivor: a completed dump whose coordinator
+  // never came back for it. Revive it.
+  Revive(ctx, host, dir, pid, paths);
+}
+
+}  // namespace
+
+ReaperReport ReapOrphans(kernel::SyscallApi& api, net::Network& net,
+                         const ReaperOptions& opts, ReaperState* state) {
+  ReaperReport report;
+  ReapContext ctx{api, net, opts, state, &report, api.GetHostname()};
+  for (kernel::Kernel* host : net.hosts()) {
+    if (host->down()) continue;
+    const std::string hname = host->hostname();
+    // Both directions must flow to scan and settle a host's sets; a one-way
+    // view is how split brains happen.
+    if (hname != ctx.local && (!net.Reachable(ctx.local, hname) ||
+                               !net.Reachable(hname, ctx.local))) {
+      continue;
+    }
+    const std::string dir =
+        hname == ctx.local ? std::string("/usr/tmp") : "/n/" + hname + "/usr/tmp";
+    for (int32_t pid : DumpSetPids(api, dir)) {
+      ReapOne(ctx, hname, dir, pid);
+    }
+  }
+  return report;
+}
+
+int PreapMain(kernel::SyscallApi& api, net::Network& net,
+              const std::vector<std::string>& args) {
+  ReaperOptions opts;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-g" && i + 1 < args.size()) {
+      opts.grace = sim::Seconds(std::atoi(args[++i].c_str()));
+    } else if (args[i] == "--rsh") {
+      opts.use_daemon = false;
+    } else if (args[i] == "--no-lease") {
+      opts.use_lease = false;
+    } else {
+      const Result<int64_t> n = api.Write(
+          2, "usage: preap [-g grace_seconds] [--rsh] [--no-lease]\n");
+      (void)n;
+      return core::kToolUsage;
+    }
+  }
+  const ReaperReport report = ReapOrphans(api, net, opts);
+  const Result<int64_t> n = api.Write(
+      1, "preap: scanned " + std::to_string(report.scanned) + " revived " +
+             std::to_string(report.revived.size()) + " collected " +
+             std::to_string(report.collected.size()) + " skipped " +
+             std::to_string(report.skipped.size()) + "\n");
+  (void)n;
+  return core::kToolOk;
+}
+
+int ReaperDaemonMain(kernel::SyscallApi& api, net::Network& net,
+                     const ReaperOptions& opts) {
+  ReaperState state;
+  for (int round = 0; opts.rounds <= 0 || round < opts.rounds; ++round) {
+    const ReaperReport report = ReapOrphans(api, net, opts, &state);
+    (void)report;
+    api.Sleep(opts.poll_interval);
+  }
+  return 0;
+}
+
+}  // namespace pmig::apps

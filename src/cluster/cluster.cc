@@ -50,14 +50,23 @@ void Cluster::Boot() {
   network_->set_fault_history(&fault_history_);
   network_->set_health_monitor(&health_monitor_);
 
-  // Cross-machine file access fails when the owning machine is down.
+  // Cross-machine file access fails when the owning machine is down or a
+  // partition separates us from it — both surface as EHOSTUNREACH, exactly
+  // like a real NFS server that stops answering.
   std::map<const vfs::Filesystem*, kernel::Kernel*> owners;
   for (auto& k : hosts_) owners[&k->fs()] = k.get();
   for (auto& k : hosts_) {
-    k->vfs().set_unreachable_check([owners](const vfs::Filesystem* fs) {
-      auto it = owners.find(fs);
-      return it != owners.end() && it->second->down();
-    });
+    const std::string local = k->hostname();
+    sim::MetricsRegistry* local_metrics = &k->metrics();
+    sim::FaultInjector* faults = faults_.get();
+    k->vfs().set_unreachable_check(
+        [owners, local, local_metrics, faults](const vfs::Filesystem* fs) {
+          auto it = owners.find(fs);
+          if (it == owners.end()) return false;
+          if (it->second->down()) return true;
+          return faults != nullptr &&
+                 faults->Partitioned(local, it->second->hostname(), local_metrics);
+        });
   }
 
   // The /n/<host> convention: every machine's root appears on every machine

@@ -243,6 +243,37 @@ Result<ReconstructedImage> ReconstructIncrAout(const IncrAout& incr,
   return out;
 }
 
+std::string FormatReadyMarker(std::string_view host, sim::Nanos at) {
+  return "ok t " + std::to_string(at) + " h " + std::string(host) + "\n";
+}
+
+std::string FormatClaimMarker(std::string_view host, sim::Nanos at) {
+  return "holder " + std::string(host) + " t " + std::to_string(at) + "\n";
+}
+
+DumpMarker ParseDumpMarker(const std::string& bytes) {
+  DumpMarker out;
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : bytes) {
+    if (c == ' ' || c == '\n' || c == '\t') {
+      if (!cur.empty()) tokens.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i] == "t") {
+      out.at = static_cast<sim::Nanos>(std::atoll(tokens[i + 1].c_str()));
+    } else if (tokens[i] == "h" || tokens[i] == "holder") {
+      out.host = tokens[i + 1];
+    }
+  }
+  return out;
+}
+
 DumpPaths DumpPaths::For(int32_t pid, const std::string& dir) {
   DumpPaths p;
   const std::string suffix = std::to_string(pid);

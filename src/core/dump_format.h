@@ -16,6 +16,7 @@
 
 #include <array>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/kernel/proc.h"
@@ -83,6 +84,24 @@ struct DumpPaths {
 
   static DumpPaths For(int32_t pid, const std::string& dir = "/usr/tmp");
 };
+
+// --- Transaction marker metadata ----------------------------------------------
+//
+// readyXXXXX carries "ok t <ns> h <host>" (when dumpproc finished the rewrite,
+// and where) and claimXXXXX carries "holder <host> t <ns>" (who claimed the
+// set, and when). The recovery tools use the timestamps to age orphaned dump
+// sets (inodes carry no mtime) and the claim holder to decide whether a
+// claimant is dead, partitioned, or merely slow. Markers from writers that
+// predate the metadata (empty files, a bare "ok") parse to an empty host and
+// at = -1; every reader must tolerate that.
+struct DumpMarker {
+  std::string host;
+  sim::Nanos at = -1;
+};
+
+std::string FormatReadyMarker(std::string_view host, sim::Nanos at);
+std::string FormatClaimMarker(std::string_view host, sim::Nanos at);
+DumpMarker ParseDumpMarker(const std::string& bytes);
 
 // --- Incremental dumps (the opt-in delta data path) ---------------------------
 //

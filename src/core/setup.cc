@@ -1,5 +1,6 @@
 #include "src/core/setup.h"
 
+#include "src/apps/recovery.h"
 #include "src/core/dump_format.h"
 #include "src/core/rest_proc.h"
 #include "src/core/shell.h"
@@ -18,6 +19,8 @@ void InstallMigration(cluster::Cluster& cluster) {
     // The content-addressed segment cache lives on every host, like /usr/tmp;
     // it stays empty unless incremental dumps are used.
     host->vfs().SetupMkdirAll(kSegCacheDir)->mode = 0777;
+    // Placement leases live next to it; empty unless coordinators lease.
+    host->vfs().SetupMkdirAll(apps::kLeaseDir)->mode = 0777;
   }
 
   cluster.RegisterProgram("dumpproc", DumpprocMain);
@@ -30,6 +33,11 @@ void InstallMigration(cluster::Cluster& cluster) {
                           [network](kernel::SyscallApi& api,
                                     const std::vector<std::string>& args) {
                             return MigrateMain(api, *network, args);
+                          });
+  cluster.RegisterProgram("preap",
+                          [network](kernel::SyscallApi& api,
+                                    const std::vector<std::string>& args) {
+                            return apps::PreapMain(api, *network, args);
                           });
 }
 

@@ -278,7 +278,7 @@ int ShellMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {
     if (cmd == "help") {
       Say(api,
           "built-ins: cd pwd jobs pstat ptop phealth exit help; commands run from the "
-          "registry or /bin\n");
+          "registry or /bin (migrate, preap, ps, ...)\n");
       continue;
     }
     RunCommand(api, tokens, background, &jobs);

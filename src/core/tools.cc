@@ -127,6 +127,18 @@ bool FileExists(kernel::SyscallApi& api, const std::string& path) {
   return true;
 }
 
+// Reads the claim marker next to a dump set. Empty host when the claim is
+// missing, unreadable (e.g. across a partition), or from a pre-metadata writer.
+DumpMarker ReadClaimMarker(kernel::SyscallApi& api, const DumpPaths& paths) {
+  const Result<int> fd = api.Open(paths.claim, OpenFlags::kORdOnly);
+  if (!fd.ok()) return {};
+  const Result<std::string> bytes = api.ReadAll(*fd);
+  const Status closed = api.Close(*fd);
+  (void)closed;
+  if (!bytes.ok()) return {};
+  return ParseDumpMarker(*bytes);
+}
+
 // Removes every trace of a dump set, ignoring files that are not there. Used
 // on the success path (the dump has been consumed) and on every failure path
 // (a half-written or unconsumable dump must not survive as an orphan).
@@ -149,6 +161,7 @@ MigrateOptions MigrateOptions::Robust() {
   MigrateOptions o;
   o.attempts = 3;
   o.retry_backoff = sim::Millis(500);
+  o.max_backoff = sim::Seconds(8);
   o.attempt_timeout = sim::Seconds(30);
   o.transactional = true;
   return o;
@@ -238,7 +251,12 @@ int Dumpproc(kernel::SyscallApi& api, int32_t pid, bool tx, bool incremental) {
     const std::string tmp = paths.files + ".tmp";
     Status wrote = WriteFileContents(api, tmp, files->Serialize(), 0600);
     if (wrote.ok()) wrote = api.Rename(tmp, paths.files);
-    if (wrote.ok()) wrote = WriteFileContents(api, paths.ready, "ok", 0600);
+    if (wrote.ok()) {
+      // The marker carries when and where the set was completed so the orphan
+      // reaper can age it later (inodes have no mtime).
+      wrote = WriteFileContents(
+          api, paths.ready, FormatReadyMarker(api.GetHostname(), api.Now()), 0600);
+    }
     if (!wrote.ok()) {
       const Status st = api.Unlink(tmp);
       (void)st;
@@ -355,6 +373,13 @@ int Restart(kernel::SyscallApi& api, int32_t pid, const std::string& dump_host,
       // up for lost.
       return IsTransientErrno(cfd.error()) ? kToolTransient : kToolFail;
     }
+    // Stamp who holds the claim and since when: if we die or get partitioned
+    // away mid-restart, the source's migrate and the orphan reaper read this
+    // back to decide between waiting, resurrecting, and collecting. Best
+    // effort — an unwritable claim body degrades to the pre-metadata format.
+    const Result<int64_t> n = api.Write(
+        *cfd, FormatClaimMarker(api.GetHostname(), api.Now()));
+    (void)n;
     const Status closed = api.Close(*cfd);
     (void)closed;
   }
@@ -496,6 +521,10 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
       metrics.Inc("migrate.retries");
       if (backoff > 0) api.Sleep(backoff);
       backoff *= 2;
+      if (opts.max_backoff > 0 && backoff > opts.max_backoff) {
+        backoff = opts.max_backoff;
+        metrics.Inc("migrate.backoff_capped");
+      }
     }
   };
   auto describe = [](const Result<int>& rc) -> std::string {
@@ -550,11 +579,63 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
     kernel::TraceSpan phase(api.kernel(), self, "dump");
     rc = run_leg(from_host, "dumpproc", dump_args);
   }
+  // A transient dump failure can leave the process already dead with the dump
+  // set as its only copy: the kernel's asynchronous dump may complete (and
+  // terminate the process) in the instant dumpproc gives up, or the rewrite
+  // may hit a full disk after the kill. dumpproc's resume path makes a retry
+  // idempotent — ESRCH with the files present picks the set back up and
+  // finishes the rewrite — so when the process is gone, persist like the
+  // fallback-restart loop does rather than walking away (or worse, sweeping
+  // up the process itself). A transient failure with the process still alive
+  // keeps failing fast: the process is unharmed and the caller's own retry
+  // policy (e.g. an evacuation sweeping round-robin) stays in charge.
+  auto source_proc_alive = [&]() -> bool {
+    kernel::Kernel* src = net.FindHost(from_host);
+    if (src == nullptr || src->down()) return false;
+    kernel::Proc* p = src->FindAnyProc(pid);
+    return p != nullptr && p->Alive();
+  };
+  if (opts.transactional && rc.ok() && *rc == kToolTransient && !source_proc_alive()) {
+    sim::Nanos backoff = opts.retry_backoff > 0 ? opts.retry_backoff : sim::Millis(500);
+    const sim::Nanos give_up = api.kernel().clock().now() +
+                               (opts.attempt_timeout > 0 ? opts.attempt_timeout
+                                                         : sim::Seconds(30));
+    kernel::TraceSpan phase(api.kernel(), self, "dump");
+    while (rc.ok() && *rc == kToolTransient && api.kernel().clock().now() < give_up &&
+           !source_proc_alive()) {
+      api.Sleep(backoff);
+      backoff *= 2;
+      if (opts.max_backoff > 0 && backoff > opts.max_backoff) {
+        backoff = opts.max_backoff;
+        metrics.Inc("migrate.backoff_capped");
+      }
+      rc = run_leg(from_host, "dumpproc", dump_args);
+    }
+  }
   if (!rc.ok() || *rc != 0) {
     Complain(api, "migrate: dumpproc on " + from_host + " failed (" + describe(rc) + ")" +
                       tag("dump"));
     postmortem("dump", "dumpproc on " + from_host + " failed (" + describe(rc) + ")");
-    if (opts.transactional) CleanupDumpFiles(api, dump_paths);
+    if (opts.transactional) {
+      // GC the partial set — unless the process is no longer alive and the
+      // files are: then the set IS the process, and deleting it is the loss
+      // this whole protocol exists to prevent. Leave it for a later migrate
+      // or the orphan reaper.
+      bool proc_alive = false;
+      if (kernel::Kernel* src = net.FindHost(from_host);
+          src != nullptr && !src->down()) {
+        kernel::Proc* p = src->FindAnyProc(pid);
+        proc_alive = p != nullptr && p->Alive();
+      }
+      if (!proc_alive && FileExists(api, dump_paths.aout)) {
+        Complain(api, "migrate: " + pid_str +
+                          " is gone but its dump set remains; leaving the set" +
+                          tag("dump"));
+        postmortem("dump", "dump set for " + pid_str + " kept: it is the process now");
+        return kToolTransient;
+      }
+      CleanupDumpFiles(api, dump_paths);
+    }
     return rc.ok() ? *rc : kTransportFailure;
   }
 
@@ -569,14 +650,61 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
     observe_e2e();
     return kToolOk;
   }
+  // kToolClaimed normally means "somebody's restart won the claim and the
+  // process is running" — but a claimant that is down or cut off by a
+  // partition may have died between claiming and committing, and GCing the
+  // dump set on its behalf could lose the process (or, after the partition
+  // heals, let a second restart resurrect it next to the first). Exactly-once
+  // rule: never sweep a claimed set while its holder is unreachable; keep the
+  // files, report transient, and let the orphan reaper disambiguate after the
+  // heal.
+  auto claim_holder_reachable = [&]() -> bool {
+    const DumpMarker claim = ReadClaimMarker(api, dump_paths);
+    if (claim.host.empty()) return true;  // no metadata: assume a live claimant
+    kernel::Kernel* holder = net.FindHost(claim.host);
+    if (holder == nullptr || holder->down()) return false;
+    return net.Reachable(local, claim.host, &metrics);
+  };
+  // Whether the claim holder actually committed: a live process on the holder
+  // carrying this dump's identity. A reachable holder with no such process is
+  // a stale claim — a restart that claimed and then died mid-copy when a flap
+  // cut the link, whose release (an unlink over that same dead link) failed
+  // too. Sweeping on the claim alone would destroy the only copy.
+  auto claim_consumed = [&]() -> bool {
+    const DumpMarker claim = ReadClaimMarker(api, dump_paths);
+    const std::string holder_host = claim.host.empty() ? to_host : claim.host;
+    kernel::Kernel* holder = net.FindHost(holder_host);
+    if (holder == nullptr || holder->down()) return false;
+    for (kernel::Proc* p : holder->ListProcs()) {
+      if (p->Alive() && p->old_pid == pid && p->old_host == from_host) return true;
+    }
+    return false;
+  };
   if (opts.transactional && rc.ok() && *rc == kToolClaimed) {
-    // A racing attempt (ours, from a try that only looked dead) won the claim
-    // and is consuming the dump right now. The process is fine; give the
-    // winner a beat to finish reading the files, then sweep up.
+    if (!claim_holder_reachable()) {
+      Complain(api, "migrate: dump of " + pid_str +
+                        " is claimed by an unreachable host; leaving the set" +
+                        tag("restart"));
+      postmortem("restart", "claim holder for " + pid_str + " unreachable");
+      return kToolTransient;
+    }
+    // A racing attempt won the claim and may be consuming the dump right now.
+    // Give the winner a beat to finish reading the files, then sweep up — but
+    // only once its process is actually running. No process behind the claim
+    // means the claimant died between claiming and committing: break the stale
+    // claim and fall through to the fallback restart below, which can now win.
     api.Sleep(sim::Seconds(1));
-    CleanupDumpFiles(api, dump_paths);
-    observe_e2e();
-    return kToolOk;
+    if (claim_consumed()) {
+      CleanupDumpFiles(api, dump_paths);
+      observe_e2e();
+      return kToolOk;
+    }
+    Complain(api, "migrate: stale claim on " + pid_str +
+                      " (holder has no such process); breaking it" + tag("restart"));
+    postmortem("restart", "stale claim on " + pid_str + " broken");
+    metrics.Inc("migrate.stale_claims_broken");
+    const Status broke = api.Unlink(dump_paths.claim);
+    (void)broke;
   }
   if (!opts.transactional) {
     Complain(api, "migrate: restart on " + to_host + " failed (" + describe(rc) + ")" +
@@ -619,14 +747,61 @@ int Migrate(kernel::SyscallApi& api, net::Network& net, int32_t pid, std::string
            FileExists(api, dump_paths.stack)) {
       api.Sleep(backoff);
       backoff *= 2;
+      if (opts.max_backoff > 0 && backoff > opts.max_backoff) {
+        backoff = opts.max_backoff;
+        metrics.Inc("migrate.backoff_capped");
+      }
       rc = run_leg(from_host, "restart", {"-p", pid_str, "-h", from_host, "--claim"});
     }
   }
+  if (rc.ok() && *rc == kToolClaimed) {
+    if (!claim_holder_reachable()) {
+      // The target claimed the dump before the link went away: it may be
+      // running the process right now, on the far side of the partition. A
+      // fallback restart here would be the double-resurrection this protocol
+      // exists to prevent; leave the set for the reaper to settle post-heal.
+      Complain(api, "migrate: dump of " + pid_str +
+                        " is claimed by an unreachable host; not falling back" +
+                        tag("fallback"));
+      postmortem("fallback", "claim holder for " + pid_str + " unreachable");
+      return kToolTransient;
+    }
+    // The holder is reachable — but reachable is not committed. Wait a beat
+    // for an in-flight winner, then verify a live copy exists behind the
+    // claim. A claim with no process is the debris of a restart the partition
+    // killed mid-copy (its release unlink died on the same cut link): break
+    // it and retry the fallback, which can now win the claim itself.
+    api.Sleep(sim::Seconds(1));
+    if (!claim_consumed()) {
+      Complain(api, "migrate: stale claim on " + pid_str +
+                        " (holder has no such process); breaking it" + tag("fallback"));
+      postmortem("fallback", "stale claim on " + pid_str + " broken");
+      metrics.Inc("migrate.stale_claims_broken");
+      const Status broke = api.Unlink(dump_paths.claim);
+      (void)broke;
+      rc = run_leg(from_host, "restart", {"-p", pid_str, "-h", from_host, "--claim"});
+      if (rc.ok() && *rc == kToolClaimed && !claim_consumed()) {
+        // Claimed again and still no copy anywhere — stop second-guessing and
+        // leave the set for the orphan reaper to settle.
+        postmortem("fallback", "claim on " + pid_str + " contended; leaving the set");
+        return kToolTransient;
+      }
+    }
+  }
   if (rc.ok() && (*rc == 0 || *rc == kToolClaimed)) {
+    if (*rc == kToolClaimed) {
+      const DumpMarker claim = ReadClaimMarker(api, dump_paths);
+      if (!claim.host.empty() && claim.host != from_host) {
+        // The verified winner is remote: the restart committed and only its
+        // reply was lost. That is a successful migration, not a fallback.
+        CleanupDumpFiles(api, dump_paths);
+        observe_e2e();
+        return kToolOk;
+      }
+    }
     metrics.Inc("migrate.fallback_restarts");
     postmortem("fallback", "migrate of " + pid_str + " fell back; process restarted on " +
                                from_host);
-    if (*rc == kToolClaimed) api.Sleep(sim::Seconds(1));
     CleanupDumpFiles(api, dump_paths);
     return kMigrateFellBack;
   }

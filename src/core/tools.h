@@ -43,6 +43,7 @@ bool IsTransientErrno(Errno e);
 struct MigrateOptions {
   int attempts = 1;                // total tries per leg (dump, restart)
   sim::Nanos retry_backoff = 0;    // pause before the second try; doubles after
+  sim::Nanos max_backoff = 0;      // cap on the doubling; 0 = uncapped
   sim::Nanos attempt_timeout = 0;  // per remote command; 0 = transport default
   bool transactional = false;      // dumpproc --tx / restart --claim / GC / fallback
   // migrate --cached: dump incrementally (dumpproc --incremental), so text and

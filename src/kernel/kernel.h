@@ -270,6 +270,7 @@ class Kernel {
   Result<std::string> SysGetCwd(Proc& p);
   Result<std::string> SysReadlink(Proc& p, std::string_view path);
   Result<StatInfo> SysStat(Proc& p, std::string_view path, bool follow);
+  Result<std::vector<std::string>> SysReadDir(Proc& p, std::string_view path);
   Status SysUnlink(Proc& p, std::string_view path);
   Status SysLink(Proc& p, std::string_view oldpath, std::string_view newpath);
   Status SysMkdir(Proc& p, std::string_view path, uint16_t mode);
@@ -471,6 +472,9 @@ class SyscallApi : public vfs::CostSink {
   Result<std::string> Readlink(std::string_view path);
   Result<StatInfo> Stat(std::string_view path);
   Result<StatInfo> LStat(std::string_view path);
+  // Directory listing (sorted entry names, no "."/".."). The recovery tools
+  // use this to scan /usr/tmp for orphaned dump sets.
+  Result<std::vector<std::string>> ReadDir(std::string_view path);
   Status Unlink(std::string_view path);
   Status Link(std::string_view oldpath, std::string_view newpath);
   Status Mkdir(std::string_view path, uint16_t mode = 0755);

@@ -383,6 +383,28 @@ Result<StatInfo> Kernel::SysStat(Proc& p, std::string_view path, bool follow) {
   return info;
 }
 
+Result<std::vector<std::string>> Kernel::SysReadDir(Proc& p,
+                                                    std::string_view path) {
+  SyscallApi* sink = ApiFor(p.pid);
+  PMIG_TRY(vfs::Vfs::Resolved r,
+           vfs_->Resolve(p.cwd, path, vfs::Follow::kAll, sink));
+  if (!r.inode->IsDir()) return Errno::kNotDir;
+  if (!vfs::CheckAccess(*r.inode, p.creds.euid, vfs::kWantRead)) {
+    return Errno::kAcces;
+  }
+  std::vector<std::string> names;
+  names.reserve(r.inode->entries.size());
+  size_t bytes = 0;
+  for (const auto& [name, child] : r.inode->entries) {
+    names.push_back(name);
+    bytes += name.size() + 1;
+  }
+  if (sink != nullptr) {
+    sink->ChargeCpu(static_cast<sim::Nanos>(bytes) * costs_->buffer_copy_per_byte);
+  }
+  return names;
+}
+
 Status Kernel::SysUnlink(Proc& p, std::string_view path) {
   SyscallApi* sink = ApiFor(p.pid);
   PMIG_TRY(vfs::Vfs::ResolvedParent rp, vfs_->ResolveParent(p.cwd, path, sink));
@@ -1306,6 +1328,13 @@ Result<StatInfo> SyscallApi::LStat(std::string_view path) {
   const Result<StatInfo> info = kernel_->SysStat(proc(), path, /*follow=*/false);
   FinishSyscall();
   return info;
+}
+
+Result<std::vector<std::string>> SyscallApi::ReadDir(std::string_view path) {
+  EnterSyscall();
+  Result<std::vector<std::string>> names = kernel_->SysReadDir(proc(), path);
+  FinishSyscall();
+  return names;
 }
 
 Status SyscallApi::Unlink(std::string_view path) {

@@ -49,9 +49,14 @@ Result<int> DaemonExec(kernel::SyscallApi& api, Network& net, std::string_view h
     kernel::TraceSpan setup(local, api.proc(), "setup");
     api.Sleep(net.costs().daemon_request);
   }
-  // The host may have crashed during connect, or the request may be lost on the
-  // wire (injected transient fault).
+  // The host may have crashed during connect, a partition may cut the link
+  // (EHOSTUNREACH — the request never reaches the daemon, so there is no
+  // split-brain risk on this path), or the request may be lost on the wire
+  // (injected transient fault).
   if (remote->down()) return Errno::kHostUnreach;
+  if (!net.Reachable(local.hostname(), remote->hostname(), &local.metrics())) {
+    return Errno::kHostUnreach;
+  }
   if (sim::FaultInjector* f = net.faults();
       f != nullptr && f->NetSendFails(&local.metrics())) {
     return Errno::kTimedOut;
@@ -68,13 +73,23 @@ Result<int> DaemonExec(kernel::SyscallApi& api, Network& net, std::string_view h
   // A host that powers off after accepting the request used to leave the
   // client blocked until the simulation's run limit; now the wait also ends on
   // host-down and on timeout, and the orphaned request is marked abandoned so
-  // a recovered daemon won't run it for nobody.
-  api.BlockUntilFor([req, remote] { return req->done || remote->down(); },
-                    opts.timeout);
+  // a recovered daemon won't run it for nobody. A partition cutting the reply
+  // path is different: the daemon HAS the request and will run it, so the
+  // request must not be abandoned — the caller times out while the remote
+  // work stands (deliberate split brain; the claim protocol disambiguates).
+  const std::string lhost = local.hostname();
+  const std::string rhost = remote->hostname();
+  const bool completed = api.BlockUntilFor(
+      [req, remote, &net, lhost, rhost] {
+        if (remote->down()) return true;
+        return req->done && net.Reachable(rhost, lhost);
+      },
+      opts.timeout);
   if (!req->done) {
     req->abandoned = true;
     return remote->down() ? Errno::kHostUnreach : Errno::kTimedOut;
   }
+  if (!completed) return Errno::kTimedOut;  // ran remotely; reply lost to the cut
   if (req->spawn_failed) return Errno::kNoEnt;
   return req->exit_code;
 }

@@ -62,6 +62,15 @@ class Network {
   void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
   sim::FaultInjector* faults() const { return faults_; }
 
+  // True when traffic from `from` to `to` can flow right now: no configured
+  // partition cuts that direction. Liveness (down()) is the caller's check —
+  // a partitioned host is up, just unreachable. Pass null metrics when polling
+  // from a wait predicate so only decision points count injections.
+  bool Reachable(std::string_view from, std::string_view to,
+                 sim::MetricsRegistry* metrics = nullptr) const {
+    return faults_ == nullptr || !faults_->Partitioned(from, to, metrics);
+  }
+
   // Cluster-wide per-host fault history (null when the network was built bare).
   // migrate records each remote leg's outcome here; placement policies read the
   // decayed scores back. Recording never affects virtual time.

@@ -24,10 +24,14 @@ Result<int> Rsh(kernel::SyscallApi& api, Network& net, std::string_view host,
     kernel::TraceSpan setup(local, api.proc(), "setup");
     api.Sleep(net.costs().rsh_setup);
   }
-  // The host may have crashed while we were connecting, or the request may be
-  // lost on the wire (injected transient fault — indistinguishable from a
-  // dropped packet, so it reports as a timeout).
+  // The host may have crashed while we were connecting, a partition may cut
+  // the link (connect timeout, surfaced as EHOSTUNREACH like a dead host), or
+  // the request may be lost on the wire (injected transient fault —
+  // indistinguishable from a dropped packet, so it reports as a timeout).
   if (remote->down()) return Errno::kHostUnreach;
+  if (!net.Reachable(local.hostname(), remote->hostname(), &metrics)) {
+    return Errno::kHostUnreach;
+  }
   if (sim::FaultInjector* f = net.faults();
       f != nullptr && f->NetSendFails(&metrics)) {
     return Errno::kTimedOut;
@@ -64,13 +68,18 @@ Result<int> Rsh(kernel::SyscallApi& api, Network& net, std::string_view host,
 
   // Wait for remote completion (exit, or overlay by rest_proc()). The host
   // dying mid-command also ends the wait; so does the timeout — a remote
-  // machine wedged forever must not wedge the caller with it.
+  // machine wedged forever must not wedge the caller with it. A partition
+  // cutting the reply path keeps us waiting even after the remote command
+  // finishes: the work stands on the far side, but until the link heals (or
+  // the timeout fires, whichever first) no status can come home.
+  const std::string lhost = local.hostname();
+  const std::string rhost = remote->hostname();
   const bool completed = api.BlockUntilFor(
-      [remote, rpid] {
+      [remote, rpid, &net, lhost, rhost] {
         if (remote->down()) return true;
         kernel::Proc* p = remote->FindAnyProc(rpid);
-        if (p == nullptr) return true;
-        return !p->Alive() || p->overlaid;
+        const bool finished = p == nullptr || !p->Alive() || p->overlaid;
+        return finished && net.Reachable(rhost, lhost);
       },
       opts.timeout);
   if (remote->down()) return Errno::kHostUnreach;

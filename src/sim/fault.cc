@@ -37,6 +37,46 @@ bool FaultInjector::DiskFull(std::string_view host, MetricsRegistry* metrics) {
   return false;
 }
 
+namespace {
+
+bool InGroup(const std::vector<std::string>& group, std::string_view host) {
+  for (const std::string& g : group) {
+    if (g == host) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FaultInjector::Partitioned(std::string_view from, std::string_view to,
+                                MetricsRegistry* metrics) const {
+  if (!config_.enabled || config_.partitions.empty()) return false;
+  if (from == to) return false;  // loopback never partitions
+  const Nanos now = clock_->now();
+  for (const PartitionFault& p : config_.partitions) {
+    if (now < p.begin) continue;
+    if (p.heal >= 0 && now >= p.heal) continue;
+    if (p.flap_period > 0) {
+      // Cut during even flap phases (the first phase at `begin` is cut).
+      const Nanos phase = (now - p.begin) / p.flap_period;
+      if (phase % 2 != 0) continue;
+    }
+    const bool from_a = InGroup(p.group_a, from);
+    const bool to_a = InGroup(p.group_a, to);
+    // Empty group_b = complement of group_a; otherwise membership is explicit
+    // and hosts in neither group are unaffected.
+    const bool from_b = p.group_b.empty() ? !from_a : InGroup(p.group_b, from);
+    const bool to_b = p.group_b.empty() ? !to_a : InGroup(p.group_b, to);
+    const bool cut_ab = from_a && to_b;
+    const bool cut_ba = from_b && to_a;
+    if (cut_ab || (!p.one_way && cut_ba)) {
+      if (metrics != nullptr) metrics->Inc("fault.injected.partition");
+      return true;
+    }
+  }
+  return false;
+}
+
 bool FaultInjector::CorruptsDump(MetricsRegistry* metrics) {
   return Draw(config_.dump_corruption_rate, "fault.injected.dump_corrupt",
               metrics);

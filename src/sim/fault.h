@@ -41,6 +41,27 @@ struct HostCrash {
   Nanos recover_at = -1;
 };
 
+// A network partition between two host groups, active during the half-open
+// virtual-time window [begin, heal). heal < 0 means the partition never heals.
+// An empty `group_b` means "everyone not in group_a". With `one_way` set, only
+// traffic from group_a to group_b is cut (asymmetric link loss); replies and
+// NFS requests in the other direction still flow. A nonzero `flap_period`
+// makes the link flap: starting at `begin` the cut alternates on/off every
+// `flap_period` of virtual time (cut first), until `heal`.
+//
+// Partition state is a pure function of this config and the virtual clock —
+// no RNG draws, no injector state — so an armed-but-partition-free config
+// replays bit-identically, and so reachability checks may be polled from
+// BlockUntil predicates without perturbing the fault schedule.
+struct PartitionFault {
+  std::vector<std::string> group_a;
+  std::vector<std::string> group_b;  // empty = complement of group_a
+  Nanos begin = 0;
+  Nanos heal = -1;       // < 0: never heals
+  bool one_way = false;  // cut only a -> b
+  Nanos flap_period = 0; // > 0: link flaps with this period until heal
+};
+
 struct FaultConfig {
   bool enabled = false;
   uint64_t seed = 1;
@@ -57,6 +78,7 @@ struct FaultConfig {
 
   std::vector<DiskFullWindow> disk_full;
   std::vector<HostCrash> crashes;
+  std::vector<PartitionFault> partitions;
 };
 
 // The draw methods each consume RNG state only when their rate is nonzero, and
@@ -83,6 +105,13 @@ class FaultInjector {
 
   // True while `host` sits inside a configured disk-full window.
   bool DiskFull(std::string_view host, MetricsRegistry* metrics);
+
+  // True while a configured partition blocks traffic from `from` to `to` at
+  // the current virtual time. Pure (config, clock) — consumes no RNG state —
+  // and safe to poll from wait predicates; pass null metrics when polling so
+  // only decision points count injections.
+  bool Partitioned(std::string_view from, std::string_view to,
+                   MetricsRegistry* metrics) const;
 
   // This dump file's on-disk bytes get corrupted.
   bool CorruptsDump(MetricsRegistry* metrics);

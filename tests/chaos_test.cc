@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/apps/recovery.h"
 #include "src/core/dump_format.h"
 #include "src/core/test_programs.h"
 #include "src/core/tools.h"
@@ -72,7 +73,7 @@ std::vector<std::string> OrphanedDumpFiles(World& world, const std::string& host
 // the final virtual clock, each migration's exit code, the per-host survivor
 // counts, and every aggregated metric counter. Two runs with the same seed
 // must produce the same string.
-std::string RunChaos(uint64_t seed) {
+std::string RunChaos(uint64_t seed, bool with_partitions = false) {
   test::WorldOptions options;
   options.num_hosts = 3;  // brick, schooner, brador
   options.metrics = true;
@@ -83,6 +84,26 @@ std::string RunChaos(uint64_t seed) {
   options.faults.net_send_failure_rate = 0.25;
   options.faults.dump_corruption_rate = 0.15;
   options.faults.crashes.push_back({"schooner", sim::Seconds(8), sim::Seconds(20)});
+  if (with_partitions) {
+    // On top of the crash/loss schedule: brador becomes an island for nearly a
+    // minute in the middle of the migration phase (the serial legs run out to
+    // ~130 s virtual), and then the brick->schooner direction flaps. Disarm()
+    // heals whatever is still cut when the drain begins, so the post-heal
+    // reaper passes settle everything the partitions orphaned.
+    sim::PartitionFault island;
+    island.group_a = {"brador"};
+    island.begin = sim::Seconds(20);
+    island.heal = sim::Seconds(70);
+    options.faults.partitions.push_back(island);
+    sim::PartitionFault flap;
+    flap.group_a = {"brick"};
+    flap.group_b = {"schooner"};
+    flap.begin = sim::Seconds(70);
+    flap.heal = sim::Seconds(140);
+    flap.one_way = true;
+    flap.flap_period = sim::Seconds(2);
+    options.faults.partitions.push_back(flap);
+  }
   World world(options);
 
   core::InstallProgram(world.host("brick"), "/bin/ticker", kTickerSource);
@@ -130,6 +151,33 @@ std::string RunChaos(uint64_t seed) {
   world.cluster().faults().Disarm();
   world.cluster().RunFor(sim::Seconds(40));
 
+  if (with_partitions) {
+    // The healed cluster runs reaper passes: every dump set a partition
+    // orphaned must be settled — revived if its process died with it,
+    // collected if a survivor runs elsewhere — before the leak scan below.
+    // Two stateful passes a grace period apart so incomplete debris ages out.
+    auto reap_state = std::make_shared<apps::ReaperState>();
+    auto reaper_pass = [&world, net, reap_state] {
+      const int32_t rp = world.host("brick").SpawnNative(
+          "preap",
+          [net, reap_state](SyscallApi& api) {
+            apps::ReaperOptions ropts;
+            ropts.grace = sim::Seconds(5);
+            ropts.use_daemon = false;
+            const apps::ReaperReport report =
+                apps::ReapOrphans(api, *net, ropts, reap_state.get());
+            (void)report;
+            return 0;
+          },
+          kernel::SpawnOptions{});
+      EXPECT_TRUE(world.RunUntilExited("brick", rp, sim::Seconds(600)));
+    };
+    reaper_pass();
+    world.cluster().RunFor(sim::Seconds(6));
+    reaper_pass();
+    world.cluster().RunFor(sim::Seconds(10));
+  }
+
   int total_alive = 0;
   for (const std::string host : {"brick", "schooner", "brador"}) {
     const int alive = CountAliveVms(world, host);
@@ -138,8 +186,32 @@ std::string RunChaos(uint64_t seed) {
     for (const std::string& orphan : OrphanedDumpFiles(world, host)) {
       ADD_FAILURE() << "seed " << seed << ": orphaned dump file " << orphan;
     }
+    if (with_partitions) {
+      EXPECT_FALSE(world.FileExists(host, "/var/lease/placement"))
+          << "seed " << seed << ": leaked placement lease on " << host;
+    }
   }
   EXPECT_EQ(total_alive, kVictims) << "seed " << seed << " lost a process";
+
+  if (with_partitions) {
+    // Exactly-once across the heal: every victim exists exactly once — either
+    // still under its original identity on brick, or as the one migrant/revival
+    // carrying that identity. Two copies would mean a fallback restart AND a
+    // reaper resurrection of the same dump set.
+    for (const int32_t pid : victims) {
+      int copies = 0;
+      for (const std::string host : {"brick", "schooner", "brador"}) {
+        for (kernel::Proc* p : world.host(host).ListProcs()) {
+          if (p->kind != kernel::ProcKind::kVm || !p->Alive()) continue;
+          const bool original = host == "brick" && p->pid == pid && p->old_pid == 0;
+          const bool migrant = p->old_pid == pid && p->old_host == "brick";
+          if (original || migrant) ++copies;
+        }
+      }
+      EXPECT_EQ(copies, 1) << "seed " << seed << ": victim " << pid << " exists "
+                           << copies << " times";
+    }
+  }
 
   // Every migrate leg that failed or fell back must have left a flight-recorder
   // post-mortem (the kernel may add more for aborted dumps), each tagged with a
@@ -164,6 +236,10 @@ std::string RunChaos(uint64_t seed) {
                            metrics.Counter("fault.injected.disk_full") +
                            metrics.Counter("fault.injected.dump_corrupt");
   EXPECT_GT(injected, 0) << "seed " << seed << " injected no faults";
+  if (with_partitions) {
+    EXPECT_GT(metrics.Counter("fault.injected.partition"), 0)
+        << "seed " << seed << " never cut a link";
+  }
   return fp.str();
 }
 
@@ -177,6 +253,21 @@ TEST_P(ChaosSoak, NoProcessLostAndDeterministicReplay) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoak, ::testing::Values(1u, 2u, 3u));
+
+// The same soak with network partitions layered over the fault schedule: an
+// island, a flapping one-way link, the crash, and the packet loss all at once.
+// Same contract — nothing lost, nothing duplicated, nothing leaked, and the
+// whole run (including the post-heal reaper passes) replays bit-identically.
+class PartitionChaosSoak : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitionChaosSoak, NothingLostNothingDuplicatedDeterministicReplay) {
+  const uint64_t seed = GetParam();
+  const std::string first = RunChaos(seed, /*with_partitions=*/true);
+  const std::string second = RunChaos(seed, /*with_partitions=*/true);
+  EXPECT_EQ(first, second) << "seed " << seed << " did not replay deterministically";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionChaosSoak, ::testing::Values(1u, 2u, 3u));
 
 }  // namespace
 }  // namespace pmig
