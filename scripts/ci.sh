@@ -44,6 +44,9 @@ echo "== health-monitor gate =="
 echo "== partition gate =="
 ./build/bench/ablation_partition --check
 
+echo "== scale gate =="
+./build/bench/ablation_scale --check
+
 echo "== bench JSON schema gate =="
 ./build/bench/check_bench_json bench/baselines
 

@@ -1,0 +1,131 @@
+#include "src/apps/cluster_index.h"
+
+#include "src/apps/placement.h"
+
+namespace pmig::apps {
+
+ClusterIndex::ClusterIndex(net::Network* net, std::string local_host,
+                           ClusterIndexOptions opts)
+    : net_(net), local_(std::move(local_host)), opts_(opts) {
+  for (kernel::Kernel* host : net_->hosts()) {
+    IndexEntry e;
+    e.host = host->hostname();
+    e.order = entries_.size();
+    by_name_[e.host] = e.order;
+    rank_.insert({e.load, e.order});
+    entries_.push_back(std::move(e));
+  }
+  load_observer_id_ = net_->AddLoadObserver(
+      [this](const net::LoadObservation& obs) { NoteObservation(obs); });
+  if (sim::FaultHistory* history = net_->fault_history(); history != nullptr) {
+    listening_to_ = history;
+    chained_listener_ = history->listener();
+    history->set_listener([this](std::string_view host) {
+      if (IndexEntry* e = FindMutable(host); e != nullptr) {
+        e->fault_score = listening_to_->Score(host);
+      }
+      if (chained_listener_) chained_listener_(host);
+    });
+  }
+}
+
+ClusterIndex::~ClusterIndex() {
+  net_->RemoveLoadObserver(load_observer_id_);
+  if (listening_to_ != nullptr) {
+    listening_to_->set_listener(std::move(chained_listener_));
+  }
+}
+
+IndexEntry* ClusterIndex::FindMutable(std::string_view host) {
+  const auto it = by_name_.find(host);
+  return it == by_name_.end() ? nullptr : &entries_[it->second];
+}
+
+const IndexEntry* ClusterIndex::Find(std::string_view host) const {
+  const auto it = by_name_.find(host);
+  return it == by_name_.end() ? nullptr : &entries_[it->second];
+}
+
+void ClusterIndex::SetLoad(IndexEntry& e, int load) {
+  if (e.load == load) return;
+  rank_.erase(rank_.find({e.load, e.order}));
+  e.load = load;
+  rank_.insert({e.load, e.order});
+}
+
+void ClusterIndex::NoteMigrated(std::string_view from, std::string_view to) {
+  if (IndexEntry* e = FindMutable(from); e != nullptr) {
+    SetLoad(*e, e->load > 0 ? e->load - 1 : 0);
+    if (e->occupancy > 0) --e->occupancy;
+  }
+  if (IndexEntry* e = FindMutable(to); e != nullptr) {
+    SetLoad(*e, e->load + 1);
+    ++e->occupancy;
+    e->reachable = true;  // the leg just landed there
+  }
+}
+
+void ClusterIndex::NoteReachable(std::string_view host, bool reachable) {
+  if (IndexEntry* e = FindMutable(host); e != nullptr) e->reachable = reachable;
+}
+
+void ClusterIndex::NoteObservation(const net::LoadObservation& obs) {
+  IndexEntry* e = FindMutable(obs.host);
+  if (e == nullptr) return;
+  e->down = obs.down;
+  if (!obs.down) {
+    SetLoad(*e, obs.runnable);
+    e->occupancy = obs.alive_vm;
+  }
+  e->updated_at = obs.at;
+}
+
+void ClusterIndex::Survey(IndexEntry& e, sim::Nanos now) {
+  kernel::Kernel* host = net_->FindHost(e.host);
+  if (host == nullptr) return;
+  e.down = host->down();
+  if (!e.down) {
+    NoteSurveyMessage(*host);
+    SetLoad(e, HostLoad(*host));
+    e.occupancy = HostOccupancy(*host);
+  }
+  // The free signals ride along: the history/monitor are coordinator-local
+  // reads and reachability is a pure function — no extra messages.
+  if (const sim::FaultHistory* h = net_->fault_history(); h != nullptr) {
+    e.fault_score = h->Score(e.host);
+  }
+  if (const sim::HealthMonitor* m = net_->health_monitor(); m != nullptr) {
+    e.health_score = m->HealthScore(e.host);
+  }
+  e.reachable = e.host == local_ || net_->Reachable(local_, e.host);
+  e.updated_at = now;
+}
+
+int ClusterIndex::Refresh(sim::Nanos now) {
+  int surveyed = 0;
+  for (IndexEntry& e : entries_) {
+    if (e.updated_at >= 0 && now - e.updated_at <= opts_.ttl) continue;
+    Survey(e, now);
+    ++surveyed;
+  }
+  return surveyed;
+}
+
+bool ClusterIndex::RefreshHost(std::string_view host, sim::Nanos now) {
+  IndexEntry* e = FindMutable(host);
+  if (e == nullptr) return false;
+  Survey(*e, now);
+  return true;
+}
+
+std::vector<std::pair<std::string, int>> ClusterIndex::Loads() const {
+  std::vector<std::pair<std::string, int>> loads;
+  for (const IndexEntry& e : entries_) {
+    kernel::Kernel* host = net_->FindHost(e.host);
+    if (host == nullptr || host->down()) continue;  // liveness is free: read live
+    loads.emplace_back(e.host, e.load);
+  }
+  return loads;
+}
+
+}  // namespace pmig::apps

@@ -1,0 +1,158 @@
+// The cluster index: incrementally maintained placement state.
+//
+// The placement engine's signals are all surveys — SurveyLoad walks every
+// host's run queue, Score re-reads every candidate per decision — so one
+// balancer round on an H-host cluster costs O(H) survey messages per victim.
+// That is fine for four machines and hopeless for four hundred. The index
+// keeps a per-host view of the same signals current from events the
+// coordinator already sees for free:
+//
+//   migrate outcomes  — a committed migration is a load of exactly one moving
+//                       from source to target; NoteMigrated applies the delta.
+//   sampler snapshots — Cluster::TakeSample publishes each host's runnable and
+//                       occupancy counts through Network::PublishLoad; the
+//                       index subscribes and folds them in (the sampler
+//                       already paid for the read).
+//   fault history     — the shared FaultHistory calls the index's listener on
+//                       every recorded leg outcome. (Scores are re-read live
+//                       at decision time anyway — the history is coordinator-
+//                       local memory, so reading it costs no messages.)
+//   reachability      — Network::Reachable is a pure function of the partition
+//                       config and the virtual clock: also free, also read
+//                       live, so a healed partition requalifies instantly.
+//
+// What cannot arrive by event goes stale, and staleness is repaired by
+// Refresh(now): re-survey ONLY the hosts whose entry is older than `ttl` —
+// never the whole cluster. With the sampler armed, Refresh typically surveys
+// nothing at all.
+//
+// Consistency caveats: the index is the coordinator's view, not the truth. A
+// process that exits on its own leaves the indexed load optimistically high
+// until the next sample/refresh; two coordinators each hold their own index
+// and may disagree. Decisions stay safe because liveness, reachability, and
+// fault/health scores are read live (all free), and because a worst-case
+// stale load only misdirects a migration — the placement lease and the
+// robust-migrate transaction already absorb that. With ttl = 0 every decision
+// re-surveys and the index is decision-identical to the full scan (the
+// equivalence tests pin this).
+//
+// Determinism: entries live in network host order, the rank is (load, network
+// order), and every update is bookkeeping — no RNG, no virtual-time cost — so
+// indexed runs replay bit-identically.
+
+#ifndef PMIG_SRC_APPS_CLUSTER_INDEX_H_
+#define PMIG_SRC_APPS_CLUSTER_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/net/network.h"
+#include "src/sim/fault_history.h"
+#include "src/sim/time.h"
+
+namespace pmig::apps {
+
+struct ClusterIndexOptions {
+  // Entries older than this are re-surveyed by Refresh; fresher ones are
+  // trusted as-is. 0 = trust nothing (every Refresh re-surveys every host,
+  // making indexed decisions identical to the full scan).
+  sim::Nanos ttl = sim::Seconds(10);
+};
+
+struct IndexEntry {
+  std::string host;
+  size_t order = 0;          // position in network host order (tie-break rank)
+  int load = 0;              // runnable VM processes (HostLoad)
+  int occupancy = 0;         // every live VM process (AliveVmCount)
+  bool down = false;         // as of the last survey/sample (liveness is
+                             // re-checked live at decision time)
+  bool reachable = true;     // as of the last verdict folded in
+  double fault_score = 0;    // as of the last FaultHistory callback/survey
+  double health_score = 0;   // as of the last survey
+  sim::Nanos updated_at = -1;  // virtual time of the last survey/sample; -1 =
+                               // never observed (always stale)
+};
+
+class ClusterIndex {
+ public:
+  // Builds an entry per current host (hosts are fixed at boot), subscribes to
+  // the network's load observations, and chains onto the shared FaultHistory's
+  // listener slot. `local_host` is the coordinator running the index — the
+  // vantage point for reachability verdicts.
+  ClusterIndex(net::Network* net, std::string local_host,
+               ClusterIndexOptions opts = {});
+  ~ClusterIndex();
+
+  ClusterIndex(const ClusterIndex&) = delete;
+  ClusterIndex& operator=(const ClusterIndex&) = delete;
+
+  const std::string& local_host() const { return local_; }
+  sim::Nanos ttl() const { return opts_.ttl; }
+
+  // --- free event feeds -------------------------------------------------------
+
+  // A migration from `from` to `to` committed: one unit of load (and
+  // occupancy) moved. Leaves timestamps alone — a delta refines an old
+  // absolute reading, it does not renew it.
+  void NoteMigrated(std::string_view from, std::string_view to);
+
+  // A reachability verdict the coordinator just learned (a Reachable() check,
+  // an EHOSTUNREACH from a migrate leg). Decisions re-check live; this keeps
+  // the entry's view honest for reports and tests.
+  void NoteReachable(std::string_view host, bool reachable);
+
+  // A sampler observation (Network load-observer hook calls this).
+  void NoteObservation(const net::LoadObservation& obs);
+
+  // --- staleness-driven refresh ----------------------------------------------
+
+  // Re-surveys (one survey message each) exactly the hosts whose entry is
+  // older than ttl at `now`; fresh entries are never touched. Returns how many
+  // hosts were re-surveyed.
+  int Refresh(sim::Nanos now);
+
+  // Unconditional single-host re-survey. Returns false for an unknown host.
+  bool RefreshHost(std::string_view host, sim::Nanos now);
+
+  // --- read side (no survey messages) ----------------------------------------
+
+  const std::vector<IndexEntry>& entries() const { return entries_; }
+  const IndexEntry* Find(std::string_view host) const;
+
+  // Live hosts and their indexed loads, in network order — the survey-free
+  // stand-in for SurveyLoad. Liveness is read live (free); loads come from the
+  // index.
+  std::vector<std::pair<std::string, int>> Loads() const;
+
+  // The maintained rank: (load, network order) ascending. The engine walks
+  // this instead of scoring every host; entry(order) resolves a rank key.
+  const std::multiset<std::pair<int, size_t>>& rank() const { return rank_; }
+  const IndexEntry& entry(size_t order) const { return entries_[order]; }
+
+  net::Network* net() const { return net_; }
+
+ private:
+  IndexEntry* FindMutable(std::string_view host);
+  void SetLoad(IndexEntry& e, int load);
+  void Survey(IndexEntry& e, sim::Nanos now);
+
+  net::Network* net_;
+  std::string local_;
+  ClusterIndexOptions opts_;
+  std::vector<IndexEntry> entries_;
+  std::map<std::string, size_t, std::less<>> by_name_;
+  std::multiset<std::pair<int, size_t>> rank_;
+  uint64_t load_observer_id_ = 0;
+  sim::FaultHistory* listening_to_ = nullptr;
+  sim::FaultHistory::Listener chained_listener_;
+};
+
+}  // namespace pmig::apps
+
+#endif  // PMIG_SRC_APPS_CLUSTER_INDEX_H_

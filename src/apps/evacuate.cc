@@ -1,5 +1,6 @@
 #include "src/apps/evacuate.h"
 
+#include "src/apps/cluster_index.h"
 #include "src/apps/recovery.h"
 #include "src/core/tools.h"
 
@@ -25,7 +26,7 @@ EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
                               bool use_daemon, const core::MigrateOptions& opts,
                               PlacementPolicy policy, double fault_threshold,
                               double health_threshold, bool lease_targets,
-                              sim::Nanos lease_ttl) {
+                              sim::Nanos lease_ttl, ClusterIndex* index) {
   EvacuationReport report;
   kernel::Kernel* from = net.FindHost(from_host);
   if (from == nullptr) return report;
@@ -53,6 +54,10 @@ EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
       query.fault_threshold = fault_threshold;
       query.health_threshold = health_threshold;
       query.occupancy = true;  // count earlier evacuees even before they reschedule
+      if (index != nullptr) {
+        query.index = index;  // survey-free picks from the maintained view
+        query.reachable_from = api.GetHostname();  // never aim across a partition
+      }
       // Like the balancer: with leasing on, a pick must also be won. Contended
       // targets are excluded and the query re-run, so a concurrent coordinator
       // cannot receive the same flood of evacuees.
@@ -83,6 +88,7 @@ EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
     if (have_lease) ReleasePlacementLease(api, lease);
     if (rc == 0) {
       report.moved.push_back(pid);
+      if (index != nullptr) index->NoteMigrated(std::string(from_host), target);
     } else {
       report.failed.push_back(pid);
       api.kernel().metrics().Inc("evacuate.failed");

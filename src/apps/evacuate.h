@@ -63,6 +63,13 @@ struct EvacuationReport {
 // excluded and the pick re-run), so an evacuation and a balancer — or two
 // evacuations — cannot dog-pile one receiving host.
 //
+// With `index` (a coordinator-maintained apps::ClusterIndex), each auto-placed
+// pick reads the index instead of re-surveying the cluster per evacuee, and
+// targets the coordinator cannot currently reach are filtered before any
+// migrate leg. Each committed move is noted back into the index, so
+// consecutive picks see the occupancy the re-survey used to provide. Null
+// (the default) keeps the classic per-process survey.
+//
 // The returned report's Status() is the command-style verdict: unplaced
 // processes make the whole evacuation kEvacuateUnplaced (nonzero), never a
 // silent success. Per-host `evacuate.unplaced` / `evacuate.failed` counters
@@ -75,7 +82,8 @@ EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
                               double fault_threshold = 0.5,
                               double health_threshold = 1.0,
                               bool lease_targets = false,
-                              sim::Nanos lease_ttl = sim::Seconds(30));
+                              sim::Nanos lease_ttl = sim::Seconds(30),
+                              ClusterIndex* index = nullptr);
 
 }  // namespace pmig::apps
 

@@ -1,6 +1,7 @@
 #include "src/apps/load_balancer.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/apps/recovery.h"
 #include "src/core/tools.h"
@@ -9,39 +10,76 @@ namespace pmig::apps {
 
 namespace {
 
-// The oldest runnable VM process on `host` older than `min_age`. Skips processes
-// blocked in wait() (the Section 7 caveat) and anything holding sockets. A down
-// host has no candidates: its processes are frozen, not runnable work to shed.
-kernel::Proc* PickCandidate(kernel::Kernel& host, sim::Nanos now, sim::Nanos min_age) {
-  if (host.down()) return nullptr;
-  kernel::Proc* best = nullptr;
-  for (kernel::Proc* p : host.ListProcs()) {
-    if (p->kind != kernel::ProcKind::kVm || p->state != kernel::ProcState::kRunnable) continue;
-    if (now - p->start_time < min_age) continue;
-    bool has_children = false;
-    for (kernel::Proc* q : host.ListProcs()) {
-      if (q->ppid == p->pid) has_children = true;
-    }
-    if (has_children) continue;
-    bool has_socket = false;
-    for (const kernel::OpenFilePtr& f : p->fds) {
-      if (f != nullptr && f->kind != kernel::FileKind::kInode) has_socket = true;
-    }
-    if (has_socket) continue;
-    if (best == nullptr || p->start_time < best->start_time) best = p;
+// Section 7 eligibility for one process: runnable VM work, old enough to be
+// worth moving, no children to orphan, no sockets to sever.
+bool EligibleVictim(kernel::Kernel& host, kernel::Proc& p, sim::Nanos now,
+                    sim::Nanos min_age) {
+  if (p.kind != kernel::ProcKind::kVm || p.state != kernel::ProcState::kRunnable) {
+    return false;
   }
-  return best;
+  if (now - p.start_time < min_age) return false;
+  for (kernel::Proc* q : host.ListProcs()) {
+    if (q->ppid == p.pid) return false;
+  }
+  for (const kernel::OpenFilePtr& f : p.fds) {
+    if (f != nullptr && f->kind != kernel::FileKind::kInode) return false;
+  }
+  return true;
 }
 
 }  // namespace
+
+std::vector<int32_t> PickVictims(kernel::Kernel& host, sim::Nanos now,
+                                 sim::Nanos min_age, bool by_cpu, int max_victims) {
+  std::vector<int32_t> victims;
+  if (host.down() || max_victims <= 0) return victims;
+  NoteSurveyMessage(host);  // one proc-table read serves the whole batch
+  std::vector<kernel::Proc*> eligible;
+  for (kernel::Proc* p : host.ListProcs()) {
+    if (EligibleVictim(host, *p, now, min_age)) eligible.push_back(p);
+  }
+  // Oldest-first is the paper's proxy for "will keep running"; by_cpu measures
+  // it instead — most accumulated CPU first, ties to the older start. A stable
+  // sort keeps the process-table order on full ties, so the single-victim
+  // default picks exactly what the pre-batch balancer picked.
+  std::stable_sort(eligible.begin(), eligible.end(),
+                   [by_cpu](const kernel::Proc* a, const kernel::Proc* b) {
+                     if (by_cpu) {
+                       const sim::Nanos ca = a->utime + a->stime;
+                       const sim::Nanos cb = b->utime + b->stime;
+                       if (ca != cb) return ca > cb;
+                     }
+                     return a->start_time < b->start_time;
+                   });
+  for (kernel::Proc* p : eligible) {
+    victims.push_back(p->pid);
+    if (static_cast<int>(victims.size()) >= max_victims) break;
+  }
+  return victims;
+}
 
 LoadBalancerStats RunLoadBalancer(kernel::SyscallApi& api, net::Network& net,
                                   const LoadBalancerOptions& options) {
   LoadBalancerStats stats;
   const PlacementEngine engine(&net, options.policy);
+  const std::string local = api.GetHostname();
+  // The index lives across rounds: migrate outcomes and sampler snapshots keep
+  // it current between the staleness-driven refreshes.
+  std::optional<ClusterIndex> index;
+  if (options.use_index) {
+    ClusterIndexOptions iopts;
+    iopts.ttl = options.index_ttl;
+    index.emplace(&net, local, iopts);
+  }
   for (int round = 0; round < options.max_rounds; ++round) {
     ++stats.rounds;
-    auto loads = SurveyLoad(net);  // live hosts only
+    std::vector<std::pair<std::string, int>> loads;
+    if (index.has_value()) {
+      stats.index_refreshes += index->Refresh(api.Now());
+      loads = index->Loads();
+    } else {
+      loads = SurveyLoad(net);  // live hosts only
+    }
     auto busiest = std::max_element(loads.begin(), loads.end(),
                                     [](const auto& a, const auto& b) { return a.second < b.second; });
     auto idlest = std::min_element(loads.begin(), loads.end(),
@@ -57,61 +95,89 @@ LoadBalancerStats RunLoadBalancer(kernel::SyscallApi& api, net::Network& net,
       continue;
     }
     kernel::Kernel* from = net.FindHost(busiest->first);
-    kernel::Proc* candidate = PickCandidate(*from, api.Now(), options.min_age);
-    if (candidate == nullptr) {
+    const std::vector<int32_t> victims =
+        PickVictims(*from, api.Now(), options.min_age,
+                    options.victim_by_cpu, std::max(1, options.batch_per_round));
+    if (victims.empty()) {
       api.Sleep(options.poll_interval);
       continue;
     }
-    const int32_t victim = candidate->pid;  // the Proc may be reaped by the migration
     PlacementQuery query;
     query.from_host = busiest->first;
-    query.pid = victim;
     query.fault_threshold = options.fault_threshold;
-    // With leasing on, the pick must also be won: a target whose placement
-    // lease another coordinator holds is excluded and the query re-run, so
-    // concurrent balancers spread across targets instead of thundering onto
-    // the one idlest host.
-    std::string target;
-    PlacementLease lease;
-    bool have_lease = false;
-    for (size_t tries = 0; tries <= net.hosts().size(); ++tries) {
-      target = engine.PickTarget(query);
-      if (target.empty() || !options.lease_targets) break;
-      LeaseOptions lopts;
-      lopts.ttl = options.lease_ttl;
-      const Result<PlacementLease> acquired =
-          AcquirePlacementLease(api, net, target, lopts);
-      if (acquired.ok() && acquired->held) {
-        lease = *acquired;
-        have_lease = true;
-        break;
-      }
-      ++stats.lease_conflicts;
-      query.exclude.push_back(target);
-      target.clear();
+    if (index.has_value()) {
+      query.index = &*index;
+      // Partitioned-away candidates are filtered before any leg is aimed.
+      query.reachable_from = local;
     }
-    if (target.empty()) {
-      // Imbalanced, but every other host is down, fault-excluded, or leased
-      // away. Wait for one to come back (or for a lease/score to lapse).
-      ++stats.no_target_rounds;
-      api.Sleep(options.poll_interval);
-      continue;
-    }
-    if (kernel::Kernel* t = net.FindHost(target); t != nullptr && t->down()) {
-      ++stats.attempts_to_down;  // the engine never does this; count it if it ever did
-    }
-    const int rc = core::Migrate(api, net, victim, busiest->first, target,
-                                 options.use_daemon, options.migrate);
-    if (have_lease) ReleasePlacementLease(api, lease);
-    if (rc == 0) {
-      ++stats.migrations;
-    } else if (rc == core::kMigrateFellBack) {
-      ++stats.fallback_restarts;
+    // The whole batch is placed from one survey (or the index view) with
+    // lookahead bumps; a single victim goes through PickTarget, which on the
+    // index walks the maintained rank instead.
+    std::vector<std::string> placed;
+    if (victims.size() > 1) {
+      placed = engine.PlaceBatch(query, victims);
     } else {
-      ++stats.failed_migrations;
+      query.pid = victims.front();
+      placed.push_back(engine.PickTarget(query));
     }
-    stats.decisions += std::to_string(victim) + ":" + busiest->first + "->" + target +
-                       "=" + std::to_string(rc) + ";";
+    bool attempted = false;
+    for (size_t i = 0; i < victims.size(); ++i) {
+      const int32_t victim = victims[i];
+      std::string target = placed[i];
+      // With leasing on, the pick must also be won: a target whose placement
+      // lease another coordinator holds is excluded and the query re-run, so
+      // concurrent balancers spread across targets instead of thundering onto
+      // the one idlest host.
+      PlacementLease lease;
+      bool have_lease = false;
+      if (options.lease_targets) {
+        PlacementQuery retry = query;
+        retry.pid = victim;
+        for (size_t tries = 0; tries <= net.hosts().size(); ++tries) {
+          if (target.empty()) break;
+          LeaseOptions lopts;
+          lopts.ttl = options.lease_ttl;
+          const Result<PlacementLease> acquired =
+              AcquirePlacementLease(api, net, target, lopts);
+          if (acquired.ok() && acquired->held) {
+            lease = *acquired;
+            have_lease = true;
+            break;
+          }
+          ++stats.lease_conflicts;
+          retry.exclude.push_back(target);
+          target = engine.PickTarget(retry);
+        }
+        if (!have_lease) target.clear();
+      }
+      if (target.empty()) continue;
+      attempted = true;
+      if (kernel::Kernel* t = net.FindHost(target); t != nullptr && t->down()) {
+        ++stats.attempts_to_down;  // the engine never does this; count it if it ever did
+      }
+      if (target != local && !net.Reachable(local, target)) {
+        ++stats.attempts_to_unreachable;  // the index path filters these out
+        if (index.has_value()) index->NoteReachable(target, false);
+      }
+      const int rc = core::Migrate(api, net, victim, busiest->first, target,
+                                   options.use_daemon, options.migrate);
+      if (have_lease) ReleasePlacementLease(api, lease);
+      if (rc == 0) {
+        ++stats.migrations;
+        if (index.has_value()) index->NoteMigrated(busiest->first, target);
+      } else if (rc == core::kMigrateFellBack) {
+        ++stats.fallback_restarts;
+      } else {
+        ++stats.failed_migrations;
+      }
+      stats.decisions += std::to_string(victim) + ":" + busiest->first + "->" + target +
+                         "=" + std::to_string(rc) + ";";
+    }
+    if (!attempted) {
+      // Imbalanced, but every other host is down, fault-excluded, unreachable,
+      // or leased away. Wait for one to come back (or a lease/score to lapse).
+      ++stats.no_target_rounds;
+    }
     api.Sleep(options.poll_interval);
   }
   return stats;

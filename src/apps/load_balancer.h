@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/apps/cluster_index.h"
 #include "src/apps/placement.h"
 #include "src/core/tools.h"
 #include "src/kernel/kernel.h"
@@ -50,6 +51,27 @@ struct LoadBalancerOptions {
   // are untouched (and bit-identical).
   bool lease_targets = false;
   sim::Nanos lease_ttl = sim::Seconds(30);
+  // The cluster-scale path: maintain an apps::ClusterIndex across rounds.
+  // Loads come from the index (kept current by migrate-outcome deltas, sampler
+  // snapshots, and a per-round Refresh that re-surveys only entries older than
+  // index_ttl), targets rank from its maintained order, and candidates this
+  // coordinator cannot reach are filtered before any migrate leg. Off by
+  // default: the classic survey-every-round balancer, bit-identical to
+  // before. With use_index on and index_ttl = 0 every round re-surveys, so
+  // decisions match the full scan exactly (the equivalence gate).
+  bool use_index = false;
+  sim::Nanos index_ttl = sim::Seconds(10);
+  // Victims migrated per imbalanced round (>= 1). A batch is placed in one
+  // PlaceBatch call — one survey (or the index view) with lookahead bumps —
+  // instead of one survey per victim.
+  int batch_per_round = 1;
+  // Prefer the victim with the most accumulated CPU (utime + stime) instead of
+  // the oldest start time. Same Section 8 heuristic — "has been running for
+  // more than a certain amount of time" — measured directly instead of proxied
+  // by age: the process that has burned the most CPU is the likeliest to keep
+  // burning, so moving it pays for itself. Off keeps the historical
+  // oldest-first choice.
+  bool victim_by_cpu = false;
 };
 
 struct LoadBalancerStats {
@@ -60,10 +82,23 @@ struct LoadBalancerStats {
   int no_target_rounds = 0;   // imbalance seen but no eligible target existed
   int attempts_to_down = 0;   // chosen target was down at migrate time (bug if >0)
   int lease_conflicts = 0;    // target re-picked because its lease was held
+  // Chosen target was unreachable from the coordinator at migrate time. The
+  // index path filters these before picking, so it must stay 0 there; the
+  // classic path counts each wasted leg it was about to pay for.
+  int attempts_to_unreachable = 0;
+  int index_refreshes = 0;    // hosts re-surveyed by staleness-driven Refresh
   // One "pid:from->to=rc;" entry per migrate call, in order — the decision
   // sequence, for determinism/equivalence tests and the ablation bench.
   std::string decisions;
 };
+
+// The balancer's victim choice on `host`, exposed for tests: up to `max_victims`
+// eligible processes (runnable VM, older than min_age, childless, socket-free),
+// oldest-first — or, with by_cpu, most-accumulated-CPU-first (ties to the older
+// start). Reads the host's process table once (one survey message), which also
+// carries the per-proc CPU signal. A down host has no candidates.
+std::vector<int32_t> PickVictims(kernel::Kernel& host, sim::Nanos now,
+                                 sim::Nanos min_age, bool by_cpu, int max_victims);
 
 // Runs until the cluster's VM load is balanced (or max_rounds elapsed).
 LoadBalancerStats RunLoadBalancer(kernel::SyscallApi& api, net::Network& net,

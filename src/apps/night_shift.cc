@@ -19,17 +19,29 @@ NightShiftStats RunNightShift(kernel::SyscallApi& api, net::Network& net,
                               const NightShiftOptions& options) {
   NightShiftStats stats;
   const PlacementEngine engine(&net, options.policy);
+  std::string day_host = options.day_host;
+  if (day_host.empty()) {
+    // No hardcoded day machine: ask the engine. Occupancy is the right load —
+    // the day host will hold every hog, runnable or not — and the fault-aware
+    // policies keep the batch off a machine that already looks sick.
+    PlacementQuery query;
+    query.fault_threshold = options.fault_threshold;
+    query.occupancy = true;
+    day_host = engine.PickTarget(query);
+    if (day_host.empty()) return stats;  // nothing eligible; nothing to run
+  }
+  stats.day_host = day_host;
   for (int night = 0; night < options.nights; ++night) {
     // Dusk: spread the day machine's hogs across the other machines, leaving a
     // fair share at home. kLoadOnly walks the eligible hosts round-robin (the
     // historical behaviour); the other policies place each job via the engine.
-    kernel::Kernel* day = net.FindHost(options.day_host);
+    kernel::Kernel* day = net.FindHost(day_host);
     if (day == nullptr) break;
     std::vector<int32_t> jobs = BatchJobsOn(*day, options.batch_uid);
     const auto& hosts = net.hosts();
     std::vector<kernel::Kernel*> eligible;  // spread targets, in network order
     for (kernel::Kernel* host : hosts) {
-      if (host->hostname() == options.day_host) continue;
+      if (host->hostname() == day_host) continue;
       if (!engine.Eligible(*host, options.fault_threshold)) continue;
       eligible.push_back(host);
     }
@@ -83,7 +95,7 @@ NightShiftStats RunNightShift(kernel::SyscallApi& api, net::Network& net,
         if (target.empty()) break;  // nowhere left to spread; jobs stay home
       } else {
         PlacementQuery query;
-        query.from_host = options.day_host;
+        query.from_host = day_host;
         query.pid = jobs[i];
         query.fault_threshold = options.fault_threshold;
         for (size_t tries = 0; tries <= hosts.size(); ++tries) {
@@ -102,7 +114,7 @@ NightShiftStats RunNightShift(kernel::SyscallApi& api, net::Network& net,
         }
         if (target.empty()) break;  // no eligible target; jobs stay home
       }
-      const int rc = core::Migrate(api, net, jobs[i], options.day_host, target,
+      const int rc = core::Migrate(api, net, jobs[i], day_host, target,
                                    options.use_daemon, options.migrate);
       if (have_lease) ReleasePlacementLease(api, lease);
       if (rc == 0) {
@@ -120,14 +132,14 @@ NightShiftStats RunNightShift(kernel::SyscallApi& api, net::Network& net,
     // that is down holds its jobs frozen — they are counted as failed gathers
     // (visible, not silently stranded) and receive no doomed migrate attempts.
     for (kernel::Kernel* host : hosts) {
-      if (host->hostname() == options.day_host) continue;
+      if (host->hostname() == day_host) continue;
       const std::vector<int32_t> strays = BatchJobsOn(*host, options.batch_uid);
       if (host->down()) {
         stats.failed_gather += static_cast<int>(strays.size());
         continue;
       }
       for (const int32_t pid : strays) {
-        const int rc = core::Migrate(api, net, pid, host->hostname(), options.day_host,
+        const int rc = core::Migrate(api, net, pid, host->hostname(), day_host,
                                      options.use_daemon, options.migrate);
         if (rc == 0) {
           ++stats.gather_migrations;

@@ -26,7 +26,11 @@
 namespace pmig::apps {
 
 struct NightShiftOptions {
-  std::string day_host;        // where the hogs live during the day
+  // Where the hogs live during the day. Empty = let the placement engine pick
+  // one under `policy` (least occupied eligible host, fault/health-filtered)
+  // instead of the caller hardcoding a machine; the choice is made once at
+  // startup and reported in NightShiftStats::day_host.
+  std::string day_host;
   int32_t batch_uid = 999;     // uid that marks batch (hog) jobs
   sim::Nanos night_length = sim::Seconds(60);
   int nights = 1;
@@ -54,6 +58,9 @@ struct NightShiftStats {
   // stranded on a night host instead of silently uncounted.
   int failed_gather = 0;
   int lease_conflicts = 0;     // dusk target skipped because its lease was held
+  // The day host actually used: options.day_host, or the engine's pick when
+  // that was empty ("" when nothing was eligible and the run did nothing).
+  std::string day_host;
 };
 
 // Pids of live batch-uid VM processes on `host`.

@@ -1,5 +1,6 @@
 #include "src/apps/placement.h"
 
+#include "src/apps/cluster_index.h"
 #include "src/core/dump_format.h"
 #include "src/sim/hash.h"
 #include "src/vm/cpu.h"
@@ -37,9 +38,14 @@ std::vector<std::pair<std::string, int>> SurveyLoad(net::Network& net) {
   std::vector<std::pair<std::string, int>> loads;
   for (kernel::Kernel* host : net.hosts()) {
     if (host->down()) continue;  // a crashed machine is not an idle machine
+    NoteSurveyMessage(*host);
     loads.emplace_back(host->hostname(), HostLoad(*host));
   }
   return loads;
+}
+
+void NoteSurveyMessage(kernel::Kernel& surveyed) {
+  surveyed.metrics().Inc("placement.survey_msgs");
 }
 
 namespace {
@@ -85,17 +91,15 @@ int64_t WireHistory(net::Network& net, const std::string& a, const std::string& 
   return total;
 }
 
-// Occupancy load: every live VM process, runnable or not (see
-// PlacementQuery::occupancy).
-int AliveVmCount(kernel::Kernel& host) {
+}  // namespace
+
+int HostOccupancy(kernel::Kernel& host) {
   int alive = 0;
   for (kernel::Proc* p : host.ListProcs()) {
     if (p->kind == kernel::ProcKind::kVm && p->Alive()) ++alive;
   }
   return alive;
 }
-
-}  // namespace
 
 bool PlacementEngine::Eligible(const kernel::Kernel& host, double fault_threshold,
                                double health_threshold) const {
@@ -113,34 +117,76 @@ bool PlacementEngine::Eligible(const kernel::Kernel& host, double fault_threshol
   return true;
 }
 
+// The per-query candidate filters shared by every path: never the source,
+// never an excluded host, and — when the query names a coordinator — never a
+// host it cannot currently reach (a free read of the partition model; the
+// wasted migrate leg is the whole point of filtering here).
+bool PlacementEngine::PassesQueryFilters(const PlacementQuery& query,
+                                         std::string_view host) const {
+  if (host == query.from_host) return false;
+  for (const std::string& name : query.exclude) {
+    if (name == host) return false;
+  }
+  if (!query.reachable_from.empty() && host != query.reachable_from &&
+      !net_->Reachable(query.reachable_from, host)) {
+    return false;
+  }
+  return true;
+}
+
+// Fills every signal except load (the caller knows whether load came from a
+// survey or the index). The fault/health reads are coordinator-local memory
+// and cost no messages; the cost probes only fire under the cost policies.
+void PlacementEngine::FillSignals(const PlacementQuery& query, kernel::Kernel* from,
+                                  kernel::Kernel& host, CandidateScore* s) const {
+  if (UsesCostSignal() && from != nullptr && query.pid >= 0) {
+    s->est_bytes = EstimatedBytes(*from, host, query.pid);
+    s->wire_history = WireHistory(*net_, query.from_host, s->host);
+    const sim::Histogram* restarts = host.metrics().FindHistogram("migration.restart_ns");
+    if (restarts != nullptr) s->est_restart_ns = restarts->Percentile(50);
+  }
+  if (const sim::FaultHistory* history = net_->fault_history(); history != nullptr) {
+    s->fault_score = history->Score(s->host);
+  }
+  s->fault_excluded = UsesFaultSignal() && s->fault_score >= query.fault_threshold;
+  if (const sim::HealthMonitor* monitor = net_->health_monitor(); monitor != nullptr) {
+    s->health_score = monitor->HealthScore(s->host);
+  }
+  s->health_excluded = UsesFaultSignal() && s->health_score >= query.health_threshold;
+}
+
 std::vector<CandidateScore> PlacementEngine::Score(const PlacementQuery& query) const {
+  if (query.index != nullptr) return ScoreFromIndex(query);
   std::vector<CandidateScore> scores;
   kernel::Kernel* from = net_->FindHost(query.from_host);
-  const sim::FaultHistory* history = net_->fault_history();
   for (kernel::Kernel* host : net_->hosts()) {
-    if (host->down() || host->hostname() == query.from_host) continue;
-    bool excluded = false;
-    for (const std::string& name : query.exclude) {
-      if (name == host->hostname()) {
-        excluded = true;
-        break;
-      }
-    }
-    if (excluded) continue;
+    if (host->down() || !PassesQueryFilters(query, host->hostname())) continue;
     CandidateScore s;
     s.host = host->hostname();
-    s.load = query.occupancy ? AliveVmCount(*host) : HostLoad(*host);
-    if (UsesCostSignal() && from != nullptr && query.pid >= 0) {
-      s.est_bytes = EstimatedBytes(*from, *host, query.pid);
-      s.wire_history = WireHistory(*net_, query.from_host, s.host);
-      const sim::Histogram* restarts = host->metrics().FindHistogram("migration.restart_ns");
-      if (restarts != nullptr) s.est_restart_ns = restarts->Percentile(50);
-    }
-    if (history != nullptr) s.fault_score = history->Score(s.host);
-    s.fault_excluded = UsesFaultSignal() && s.fault_score >= query.fault_threshold;
-    const sim::HealthMonitor* monitor = net_->health_monitor();
-    if (monitor != nullptr) s.health_score = monitor->HealthScore(s.host);
-    s.health_excluded = UsesFaultSignal() && s.health_score >= query.health_threshold;
+    NoteSurveyMessage(*host);
+    s.load = query.occupancy ? HostOccupancy(*host) : HostLoad(*host);
+    FillSignals(query, from, *host, &s);
+    scores.push_back(std::move(s));
+  }
+  return scores;
+}
+
+// The index-backed Score: loads come from the maintained entries (zero survey
+// messages); liveness, reachability, and fault/health are re-read live — all
+// free. On a fresh index the list is element-for-element what the full scan
+// would have produced.
+std::vector<CandidateScore> PlacementEngine::ScoreFromIndex(
+    const PlacementQuery& query) const {
+  std::vector<CandidateScore> scores;
+  kernel::Kernel* from = net_->FindHost(query.from_host);
+  for (const IndexEntry& e : query.index->entries()) {
+    if (!PassesQueryFilters(query, e.host)) continue;
+    kernel::Kernel* host = net_->FindHost(e.host);
+    if (host == nullptr || host->down()) continue;
+    CandidateScore s;
+    s.host = e.host;
+    s.load = query.occupancy ? e.occupancy : e.load;
+    FillSignals(query, from, *host, &s);
     scores.push_back(std::move(s));
   }
   return scores;
@@ -172,6 +218,7 @@ bool PlacementEngine::Beats(const CandidateScore& better,
 }
 
 std::string PlacementEngine::PickTarget(const PlacementQuery& query) const {
+  if (query.index != nullptr) return PickFromIndex(query);
   const std::vector<CandidateScore> scores = Score(query);
   const CandidateScore* best = nullptr;
   for (const CandidateScore& s : scores) {
@@ -179,6 +226,96 @@ std::string PlacementEngine::PickTarget(const PlacementQuery& query) const {
     if (best == nullptr || Beats(s, *best)) best = &s;
   }
   return best != nullptr ? best->host : std::string();
+}
+
+// The maintained-order pick. The rank multiset is (load, network order)
+// ascending, so the first eligible entry already has minimal load; under
+// kLoadOnly it wins outright, and the richer policies score only the
+// minimal-load group for their secondary signals — never the whole cluster.
+// Occupancy queries rank on a different load, so they fall back to a linear
+// walk of the index entries (still zero survey messages).
+std::string PlacementEngine::PickFromIndex(const PlacementQuery& query) const {
+  const ClusterIndex& index = *query.index;
+  const sim::FaultHistory* history = net_->fault_history();
+  const sim::HealthMonitor* monitor = net_->health_monitor();
+  if (query.occupancy) {
+    const std::vector<CandidateScore> scores = ScoreFromIndex(query);
+    const CandidateScore* best = nullptr;
+    for (const CandidateScore& s : scores) {
+      if (s.fault_excluded || s.health_excluded) continue;
+      if (best == nullptr || Beats(s, *best)) best = &s;
+    }
+    return best != nullptr ? best->host : std::string();
+  }
+  kernel::Kernel* from = net_->FindHost(query.from_host);
+  std::vector<CandidateScore> group;  // eligible entries at the minimal load
+  int group_load = 0;
+  for (const auto& [load, order] : index.rank()) {
+    if (!group.empty() && load != group_load) break;  // past the minimal group
+    const IndexEntry& e = index.entry(order);
+    if (!PassesQueryFilters(query, e.host)) continue;
+    kernel::Kernel* host = net_->FindHost(e.host);
+    if (host == nullptr || host->down()) continue;
+    if (UsesFaultSignal()) {
+      if (history != nullptr && history->Score(e.host) >= query.fault_threshold) continue;
+      if (monitor != nullptr && monitor->HealthScore(e.host) >= query.health_threshold) {
+        continue;
+      }
+    }
+    if (group.empty() && policy_ == PlacementPolicy::kLoadOnly) {
+      return e.host;  // load is the only signal; first eligible wins
+    }
+    CandidateScore s;
+    s.host = e.host;
+    s.load = load;
+    FillSignals(query, from, *host, &s);
+    group_load = load;
+    group.push_back(std::move(s));
+  }
+  const CandidateScore* best = nullptr;
+  for (const CandidateScore& s : group) {  // network order within equal load
+    if (best == nullptr || Beats(s, *best)) best = &s;
+  }
+  return best != nullptr ? best->host : std::string();
+}
+
+std::vector<std::string> PlacementEngine::PlaceBatch(
+    const PlacementQuery& query, const std::vector<int32_t>& pids) const {
+  std::vector<std::string> targets(pids.size());
+  if (pids.empty()) return targets;
+  // One survey (or the index view) up front; after that every pick is pure
+  // bookkeeping. Each assignment bumps its target's working load — the
+  // occupancy-style lookahead evacuation gets by re-surveying after every
+  // migration, here for free.
+  PlacementQuery base = query;
+  base.pid = pids.front();
+  std::vector<CandidateScore> scores = Score(base);
+  kernel::Kernel* from = net_->FindHost(query.from_host);
+  for (size_t i = 0; i < pids.size(); ++i) {
+    if (UsesCostSignal() && from != nullptr && pids[i] >= 0) {
+      // The cost signal is per-process; re-probe it for this pid. Loads (and
+      // their lookahead bumps) carry over untouched.
+      for (CandidateScore& s : scores) {
+        if (kernel::Kernel* host = net_->FindHost(s.host); host != nullptr) {
+          s.est_bytes = EstimatedBytes(*from, *host, pids[i]);
+        }
+      }
+    }
+    const CandidateScore* best = nullptr;
+    for (const CandidateScore& s : scores) {
+      if (s.fault_excluded || s.health_excluded) continue;
+      if (best == nullptr || Beats(s, *best)) best = &s;
+    }
+    if (best == nullptr) continue;  // this pid stays unplaced ("")
+    targets[i] = best->host;
+    for (CandidateScore& s : scores) {
+      if (s.host == targets[i]) {
+        ++s.load;
+        break;
+      }
+    }
+  }
+  return targets;
 }
 
 }  // namespace pmig::apps

@@ -38,6 +38,8 @@
 
 namespace pmig::apps {
 
+class ClusterIndex;
+
 enum class PlacementPolicy {
   kLoadOnly,    // the historical behaviour: least-loaded live host
   kCostAware,   // least-loaded, then fewest estimated bytes on the wire
@@ -70,6 +72,17 @@ struct PlacementQuery {
   // placement lease re-picks with the loser added here, so lease contention
   // spreads the herd instead of deadlocking it.
   std::vector<std::string> exclude;
+  // Incrementally maintained placement state (see cluster_index.h). When set,
+  // loads come from the index's entries and PickTarget walks its maintained
+  // (load, network-order) rank instead of re-surveying every host — zero
+  // survey messages per decision. Null (the default) keeps the full scan.
+  const ClusterIndex* index = nullptr;
+  // When non-empty, candidates this host cannot currently reach
+  // (net::Network::Reachable) are filtered out before scoring — no migrate leg
+  // is ever aimed across a partition. Reachability is a free read, but the
+  // filter changes decisions, so it is opt-in; empty keeps the historical
+  // behaviour (the doomed leg fails fast and the coordinator re-picks).
+  std::string reachable_from;
 };
 
 // One candidate's signals, in network host order.
@@ -110,8 +123,21 @@ class PlacementEngine {
 
   // The best candidate under the policy, or "" when none qualifies. Ties break
   // toward the earliest host in network order — which is exactly what the
-  // pre-engine min_element scan did, so kLoadOnly is decision-identical.
+  // pre-engine min_element scan did, so kLoadOnly is decision-identical. With
+  // query.index set this walks the maintained rank: the minimal-load eligible
+  // group is found without surveying anyone, and only that group is scored for
+  // the policy's secondary signals. On a fresh index the answer is identical
+  // to the full scan (same loads, same tie-break order).
   std::string PickTarget(const PlacementQuery& query) const;
+
+  // Places a whole batch with one survey (or the index view) and
+  // occupancy-style lookahead: each pick bumps its target's working load so
+  // consecutive victims spread instead of stacking — the evacuation trick,
+  // without evacuation's per-process re-survey. Returns one target per pid
+  // ("" where nothing qualified). query.pid is ignored; each pid supplies its
+  // own cost signal under the cost-aware policies.
+  std::vector<std::string> PlaceBatch(const PlacementQuery& query,
+                                      const std::vector<int32_t>& pids) const;
 
  private:
   bool UsesFaultSignal() const {
@@ -126,6 +152,12 @@ class PlacementEngine {
   // (strictly — equal candidates keep the incumbent, preserving host order).
   bool Beats(const CandidateScore& better, const CandidateScore& incumbent) const;
 
+  bool PassesQueryFilters(const PlacementQuery& query, std::string_view host) const;
+  void FillSignals(const PlacementQuery& query, kernel::Kernel* from,
+                   kernel::Kernel& host, CandidateScore* s) const;
+  std::vector<CandidateScore> ScoreFromIndex(const PlacementQuery& query) const;
+  std::string PickFromIndex(const PlacementQuery& query) const;
+
   net::Network* net_;
   PlacementPolicy policy_;
 };
@@ -136,10 +168,21 @@ class PlacementEngine {
 // scanning the process table directly.
 int HostLoad(kernel::Kernel& host);
 
+// One host's occupancy load: every live VM process, runnable or not (see
+// PlacementQuery::occupancy).
+int HostOccupancy(kernel::Kernel& host);
+
 // Per-host runnable VM-process count as a load daemon would report. Crashed
 // (down) machines are not surveyed: a dead host reports nothing, rather than a
 // load of zero that would make it everyone's favourite target.
 std::vector<std::pair<std::string, int>> SurveyLoad(net::Network& net);
+
+// Books one survey message against the surveyed host (`placement.survey_msgs`
+// in its registry, so Cluster::AggregateMetrics sums the cluster-wide total).
+// Every placement-driven read of a host's run queue / process table charges
+// one — the cost the ClusterIndex exists to avoid. Pure observation: no
+// virtual time, so counting never perturbs a run.
+void NoteSurveyMessage(kernel::Kernel& surveyed);
 
 }  // namespace pmig::apps
 

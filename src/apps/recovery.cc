@@ -1,5 +1,6 @@
 #include "src/apps/recovery.h"
 
+#include <algorithm>
 #include <set>
 
 #include "src/core/dump_format.h"
@@ -447,6 +448,10 @@ ReaperReport ReapOrphans(kernel::SyscallApi& api, net::Network& net,
   for (kernel::Kernel* host : net.hosts()) {
     if (host->down()) continue;
     const std::string hname = host->hostname();
+    if (!opts.hosts.empty() &&
+        std::find(opts.hosts.begin(), opts.hosts.end(), hname) == opts.hosts.end()) {
+      continue;  // another shard's host
+    }
     // Both directions must flow to scan and settle a host's sets; a one-way
     // view is how split brains happen.
     if (hname != ctx.local && (!net.Reachable(ctx.local, hname) ||
@@ -472,9 +477,11 @@ int PreapMain(kernel::SyscallApi& api, net::Network& net,
       opts.use_daemon = false;
     } else if (args[i] == "--no-lease") {
       opts.use_lease = false;
+    } else if (args[i] == "-H" && i + 1 < args.size()) {
+      opts.hosts.push_back(args[++i]);  // repeatable: this pass's shard
     } else {
       const Result<int64_t> n = api.Write(
-          2, "usage: preap [-g grace_seconds] [--rsh] [--no-lease]\n");
+          2, "usage: preap [-g grace_seconds] [-H host ...] [--rsh] [--no-lease]\n");
       (void)n;
       return core::kToolUsage;
     }

@@ -94,6 +94,12 @@ struct ReaperOptions {
   // Periodic pass (ReaperDaemonMain) cadence and bound; rounds 0 = forever.
   sim::Nanos poll_interval = sim::Seconds(30);
   int rounds = 0;
+  // Scan only these hosts' /usr/tmp (empty = every host, the classic serial
+  // cluster pass). Per-host reaper daemons on a big cluster each take a
+  // shard of the host list so the scan splits instead of serialising; the
+  // decision ladder and the exactly-once rule are unchanged, and restart
+  // --claim's O_EXCL still arbitrates any overlap between shards.
+  std::vector<std::string> hosts;
 };
 
 // Caller-owned first-seen times for marker-less (incomplete) dump sets, keyed

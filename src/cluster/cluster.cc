@@ -151,11 +151,12 @@ void Cluster::TakeSample() {
     s.at = clock_.now();
     s.host = k->hostname();
     s.down = k->down();
+    int alive_vm = 0;
     if (!s.down) {
       for (kernel::Proc* p : k->ListProcs()) {
-        if (p->kind == kernel::ProcKind::kVm && p->state == kernel::ProcState::kRunnable) {
-          ++s.runnable;
-        }
+        if (p->kind != kernel::ProcKind::kVm) continue;
+        if (p->state == kernel::ProcState::kRunnable) ++s.runnable;
+        if (p->Alive()) ++alive_vm;
       }
       s.segcache_bytes = SegcacheBytes(*k);
     }
@@ -166,6 +167,15 @@ void Cluster::TakeSample() {
                               static_cast<double>(s.segcache_bytes));
       health_monitor_.Observe(s.host, "fault.score", s.fault_score);
     }
+    // Fan the same reads out to load observers (cluster indexes): the sampler
+    // already paid for this survey, so subscribers get freshness for free.
+    net::LoadObservation obs;
+    obs.at = s.at;
+    obs.host = s.host;
+    obs.down = s.down;
+    obs.runnable = s.runnable;
+    obs.alive_vm = alive_vm;
+    network_->PublishLoad(obs);
     samples_.push_back(std::move(s));
   }
   // Burn windows age out even when no new observation arrives; re-evaluate at

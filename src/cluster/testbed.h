@@ -58,14 +58,24 @@ inline std::vector<std::string> DefaultHostNames() {
   return {"brick", "schooner", "brador", "classic"};
 }
 
+// The name for host i: the paper's four machines, then host4, host5, ... —
+// names must be unique (the network and /n mounts key on them), so clusters
+// bigger than the paper's get synthetic names instead of colliding.
+inline std::string DefaultHostName(int i) {
+  const std::vector<std::string> names = DefaultHostNames();
+  if (i >= 0 && static_cast<size_t>(i) < names.size()) {
+    return names[static_cast<size_t>(i)];
+  }
+  return "host" + std::to_string(i);
+}
+
 class Testbed {
  public:
   explicit Testbed(TestbedOptions options = {}) {
     cluster::ClusterConfig config;
-    const std::vector<std::string> names = DefaultHostNames();
     for (int i = 0; i < options.num_hosts; ++i) {
       cluster::HostSpec spec;
-      spec.name = names[static_cast<size_t>(i) % names.size()];
+      spec.name = DefaultHostName(i);
       if (static_cast<size_t>(i) < options.isa.size()) {
         spec.isa = options.isa[static_cast<size_t>(i)];
       }

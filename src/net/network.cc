@@ -14,4 +14,16 @@ SpawnService* Network::FindSpawnService(std::string_view hostname) {
   return it == spawn_services_.end() ? nullptr : it->second;
 }
 
+uint64_t Network::AddLoadObserver(std::function<void(const LoadObservation&)> fn) {
+  const uint64_t id = next_observer_id_++;
+  load_observers_[id] = std::move(fn);
+  return id;
+}
+
+void Network::RemoveLoadObserver(uint64_t id) { load_observers_.erase(id); }
+
+void Network::PublishLoad(const LoadObservation& obs) {
+  for (auto& [id, fn] : load_observers_) fn(obs);
+}
+
 }  // namespace pmig::net

@@ -8,6 +8,8 @@
 #ifndef PMIG_SRC_NET_NETWORK_H_
 #define PMIG_SRC_NET_NETWORK_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -31,6 +33,18 @@ class SpawnService;
 // means wait forever (the old behaviour).
 struct RemoteExecOptions {
   sim::Nanos timeout = sim::Seconds(300);
+};
+
+// One host's load as the cluster sampler saw it at a sampling edge. Published
+// to registered load observers so coordinators that keep incremental placement
+// state (the apps::ClusterIndex) learn per-host load without surveying — the
+// sampler already paid for the read.
+struct LoadObservation {
+  sim::Nanos at = 0;
+  std::string host;
+  bool down = false;
+  int runnable = 0;  // runnable VM processes (the classic load signal)
+  int alive_vm = 0;  // every live VM process (the occupancy signal)
 };
 
 class Network {
@@ -83,6 +97,15 @@ class Network {
   void set_health_monitor(sim::HealthMonitor* monitor) { health_monitor_ = monitor; }
   sim::HealthMonitor* health_monitor() const { return health_monitor_; }
 
+  // Load-observation fan-out: the cluster sampler publishes each host's load
+  // here as it samples, and subscribers (cluster indexes) fold it in for free.
+  // Publishing is pure bookkeeping — no virtual time, no RNG — so an armed
+  // sampler with observers stays bit-identical to one without. Observers must
+  // remove themselves before they are destroyed.
+  uint64_t AddLoadObserver(std::function<void(const LoadObservation&)> fn);
+  void RemoveLoadObserver(uint64_t id);
+  void PublishLoad(const LoadObservation& obs);
+
  private:
   const sim::CostModel* costs_;
   std::vector<kernel::Kernel*> hosts_;
@@ -90,6 +113,8 @@ class Network {
   sim::FaultInjector* faults_ = nullptr;
   sim::FaultHistory* fault_history_ = nullptr;
   sim::HealthMonitor* health_monitor_ = nullptr;
+  std::map<uint64_t, std::function<void(const LoadObservation&)>> load_observers_;
+  uint64_t next_observer_id_ = 1;
 };
 
 }  // namespace pmig::net

@@ -40,18 +40,21 @@ void FaultHistory::RecordFailure(std::string_view host, Errno error) {
   Entry& e = Touch(host);
   e.weight += error == Errno::kHostUnreach ? kUnreachableWeight : kErrnoWeight;
   ++e.failures;
+  if (listener_) listener_(host);
 }
 
 void FaultHistory::RecordTransient(std::string_view host) {
   Entry& e = Touch(host);
   e.weight += kTransientWeight;
   ++e.failures;
+  if (listener_) listener_(host);
 }
 
 void FaultHistory::RecordSuccess(std::string_view host) {
   Entry& e = Touch(host);
   e.weight *= kSuccessFactor;
   ++e.successes;
+  if (listener_) listener_(host);
 }
 
 double FaultHistory::Score(std::string_view host) const {

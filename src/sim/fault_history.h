@@ -16,6 +16,7 @@
 #define PMIG_SRC_SIM_FAULT_HISTORY_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -56,6 +57,15 @@ class FaultHistory {
   int64_t failures(std::string_view host) const;
   int64_t successes(std::string_view host) const;
 
+  // Single listener slot, invoked after every recorded outcome with the host it
+  // was recorded against. Coordinators keeping incremental placement state (the
+  // apps::ClusterIndex) subscribe so fault updates reach them without polling.
+  // A subscriber that replaces an existing listener should save it and chain;
+  // recording stays pure bookkeeping (no time, no RNG) regardless.
+  using Listener = std::function<void(std::string_view host)>;
+  void set_listener(Listener listener) { listener_ = std::move(listener); }
+  const Listener& listener() const { return listener_; }
+
  private:
   struct Entry {
     double weight = 0;   // decayed failure mass as of `as_of`
@@ -70,6 +80,7 @@ class FaultHistory {
   const VirtualClock* clock_;
   Nanos half_life_;
   std::map<std::string, Entry, std::less<>> entries_;
+  Listener listener_;
 };
 
 }  // namespace pmig::sim

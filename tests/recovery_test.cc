@@ -499,6 +499,45 @@ TEST(ReaperTest, ClaimBreakingDefersToAnotherCoordinatorsLease) {
   EXPECT_EQ(world.cluster().AggregateMetrics().Counter("reaper.claims_broken"), 0);
 }
 
+TEST(ReaperTest, HostSubsetScansOnlyItsShard) {
+  test::WorldOptions options;
+  options.num_hosts = 3;
+  options.metrics = true;
+  options.daemons = true;
+  World world(options);
+  net::Network* net = &world.cluster().network();
+
+  const int32_t pid = MakeOrphanedDumpSet(world, "schooner");
+  world.cluster().RunFor(sim::Seconds(70));  // past the default 60 s grace
+
+  // A sharded reaper daemon scoped to brador never looks at schooner's
+  // /usr/tmp: the orphan survives its pass untouched.
+  auto report = std::make_shared<apps::ReaperReport>();
+  RunNative(world, "brick", [net, report](SyscallApi& api) {
+    apps::ReaperOptions ropts;
+    ropts.hosts = {"brador"};
+    *report = apps::ReapOrphans(api, *net, ropts);
+    return 0;
+  });
+  EXPECT_EQ(report->scanned, 0);
+  EXPECT_TRUE(report->revived.empty());
+  EXPECT_FALSE(DumpSetGone(world, "schooner", pid));
+
+  // The shard that owns schooner settles it — same ladder, same outcome as
+  // the classic whole-cluster pass.
+  RunNative(world, "brick", [net, report](SyscallApi& api) {
+    apps::ReaperOptions ropts;
+    ropts.hosts = {"schooner"};
+    *report = apps::ReapOrphans(api, *net, ropts);
+    return 0;
+  });
+  ASSERT_EQ(report->revived.size(), 1u);
+  EXPECT_EQ(report->revived[0], pid);
+  world.cluster().RunFor(sim::Seconds(5));
+  EXPECT_NE(FindSurvivor(world, "schooner", pid), nullptr);
+  EXPECT_TRUE(DumpSetGone(world, "schooner", pid));
+}
+
 TEST(PreapCommandTest, OnePassFromTheShellRevivesAndReports) {
   test::WorldOptions options;
   options.num_hosts = 2;
