@@ -47,6 +47,9 @@ echo "== partition gate =="
 echo "== scale gate =="
 ./build/bench/ablation_scale --check
 
+echo "== event-driven balancer gate =="
+./build/bench/ablation_event --check
+
 echo "== bench JSON schema gate =="
 ./build/bench/check_bench_json bench/baselines
 

@@ -13,26 +13,38 @@ ClusterIndex::ClusterIndex(net::Network* net, std::string local_host,
     e.order = entries_.size();
     by_name_[e.host] = e.order;
     rank_.insert({e.load, e.order});
+    live_loads_.insert(e.load);
     entries_.push_back(std::move(e));
   }
   load_observer_id_ = net_->AddLoadObserver(
       [this](const net::LoadObservation& obs) { NoteObservation(obs); });
   if (sim::FaultHistory* history = net_->fault_history(); history != nullptr) {
     listening_to_ = history;
-    chained_listener_ = history->listener();
-    history->set_listener([this](std::string_view host) {
-      if (IndexEntry* e = FindMutable(host); e != nullptr) {
-        e->fault_score = listening_to_->Score(host);
-      }
-      if (chained_listener_) chained_listener_(host);
+    chain_ = std::make_shared<ListenerChain>();
+    chain_->index = this;
+    chain_->chained = history->listener();
+    std::shared_ptr<ListenerChain> chain = chain_;
+    history->set_listener([chain](std::string_view host) {
+      if (chain->index != nullptr) chain->index->OnFaultRecorded(host);
+      if (chain->chained) chain->chained(host);
     });
+    listener_token_ = history->listener_token();
   }
 }
 
 ClusterIndex::~ClusterIndex() {
   net_->RemoveLoadObserver(load_observer_id_);
   if (listening_to_ != nullptr) {
-    listening_to_->set_listener(std::move(chained_listener_));
+    // Restore the saved chain only while our install is still the *top* of it
+    // (the token has not moved). An index buried under a later subscriber must
+    // not re-install its saved chain — that would both drop the later
+    // subscriber and resurrect a closure over this dying object. Nulling the
+    // shared state instead degrades our closure, wherever it still lives in
+    // the chain, to a pure forwarder.
+    if (listening_to_->listener_token() == listener_token_) {
+      listening_to_->set_listener(std::move(chain_->chained));
+    }
+    chain_->index = nullptr;
   }
 }
 
@@ -46,75 +58,161 @@ const IndexEntry* ClusterIndex::Find(std::string_view host) const {
   return it == by_name_.end() ? nullptr : &entries_[it->second];
 }
 
+void ClusterIndex::NotifyIfChanged(uint64_t epoch_before) {
+  if (epoch_ != epoch_before && wake_) wake_();
+}
+
 void ClusterIndex::SetLoad(IndexEntry& e, int load) {
   if (e.load == load) return;
   rank_.erase(rank_.find({e.load, e.order}));
+  if (!e.down) {
+    live_loads_.erase(live_loads_.find(e.load));
+    live_loads_.insert(load);
+    live_total_ += load - e.load;
+  }
   e.load = load;
   rank_.insert({e.load, e.order});
+  ++epoch_;
+}
+
+void ClusterIndex::SetDown(IndexEntry& e, bool down) {
+  if (e.down == down) return;
+  if (down) {
+    live_loads_.erase(live_loads_.find(e.load));
+    live_total_ -= e.load;
+  } else {
+    live_loads_.insert(e.load);
+    live_total_ += e.load;
+  }
+  e.down = down;
+  ++epoch_;
+}
+
+void ClusterIndex::SetReachable(IndexEntry& e, bool reachable) {
+  if (e.reachable == reachable) return;
+  e.reachable = reachable;
+  if (reachable) {
+    unreachable_orders_.erase(e.order);
+  } else {
+    unreachable_orders_.insert(e.order);
+  }
+  ++epoch_;
+}
+
+int ClusterIndex::LoadSpread() const {
+  if (live_loads_.size() < 2) return 0;
+  return *live_loads_.rbegin() - *live_loads_.begin();
+}
+
+int ClusterIndex::TotalLoad() const { return static_cast<int>(live_total_); }
+
+bool ClusterIndex::AnyMarkedUnreachableHealed() const {
+  for (size_t order : unreachable_orders_) {
+    const IndexEntry& e = entries_[order];
+    if (e.host == local_) continue;
+    if (net_->Reachable(local_, e.host)) return true;
+  }
+  return false;
 }
 
 void ClusterIndex::NoteMigrated(std::string_view from, std::string_view to) {
+  const uint64_t before = epoch_;
   if (IndexEntry* e = FindMutable(from); e != nullptr) {
     SetLoad(*e, e->load > 0 ? e->load - 1 : 0);
-    if (e->occupancy > 0) --e->occupancy;
+    if (e->occupancy > 0) {
+      --e->occupancy;
+      ++epoch_;
+    }
   }
   if (IndexEntry* e = FindMutable(to); e != nullptr) {
     SetLoad(*e, e->load + 1);
     ++e->occupancy;
-    e->reachable = true;  // the leg just landed there
+    ++epoch_;
+    SetReachable(*e, true);  // the leg just landed there
   }
+  NotifyIfChanged(before);
 }
 
 void ClusterIndex::NoteReachable(std::string_view host, bool reachable) {
-  if (IndexEntry* e = FindMutable(host); e != nullptr) e->reachable = reachable;
+  const uint64_t before = epoch_;
+  if (IndexEntry* e = FindMutable(host); e != nullptr) SetReachable(*e, reachable);
+  NotifyIfChanged(before);
 }
 
 void ClusterIndex::NoteObservation(const net::LoadObservation& obs) {
   IndexEntry* e = FindMutable(obs.host);
   if (e == nullptr) return;
-  e->down = obs.down;
+  const uint64_t before = epoch_;
+  SetDown(*e, obs.down);
   if (!obs.down) {
     SetLoad(*e, obs.runnable);
-    e->occupancy = obs.alive_vm;
+    if (e->occupancy != obs.alive_vm) {
+      e->occupancy = obs.alive_vm;
+      ++epoch_;
+    }
   }
-  e->updated_at = obs.at;
+  e->updated_at = obs.at;  // freshness renewal alone is not an event
+  NotifyIfChanged(before);
+}
+
+void ClusterIndex::OnFaultRecorded(std::string_view host) {
+  IndexEntry* e = FindMutable(host);
+  if (e == nullptr || listening_to_ == nullptr) return;
+  const double score = listening_to_->Score(host);
+  if (score == e->fault_score) return;
+  e->fault_score = score;
+  ++epoch_;
+  if (wake_) wake_();
 }
 
 void ClusterIndex::Survey(IndexEntry& e, sim::Nanos now) {
   kernel::Kernel* host = net_->FindHost(e.host);
   if (host == nullptr) return;
-  e.down = host->down();
+  SetDown(e, host->down());
   if (!e.down) {
     NoteSurveyMessage(*host);
     SetLoad(e, HostLoad(*host));
-    e.occupancy = HostOccupancy(*host);
+    if (const int occ = HostOccupancy(*host); occ != e.occupancy) {
+      e.occupancy = occ;
+      ++epoch_;
+    }
   }
   // The free signals ride along: the history/monitor are coordinator-local
   // reads and reachability is a pure function — no extra messages.
   if (const sim::FaultHistory* h = net_->fault_history(); h != nullptr) {
-    e.fault_score = h->Score(e.host);
+    if (const double score = h->Score(e.host); score != e.fault_score) {
+      e.fault_score = score;
+      ++epoch_;
+    }
   }
   if (const sim::HealthMonitor* m = net_->health_monitor(); m != nullptr) {
-    e.health_score = m->HealthScore(e.host);
+    if (const double score = m->HealthScore(e.host); score != e.health_score) {
+      e.health_score = score;
+      ++epoch_;
+    }
   }
-  e.reachable = e.host == local_ || net_->Reachable(local_, e.host);
+  SetReachable(e, e.host == local_ || net_->Reachable(local_, e.host));
   e.updated_at = now;
 }
 
 int ClusterIndex::Refresh(sim::Nanos now) {
+  const uint64_t before = epoch_;
   int surveyed = 0;
   for (IndexEntry& e : entries_) {
     if (e.updated_at >= 0 && now - e.updated_at <= opts_.ttl) continue;
     Survey(e, now);
     ++surveyed;
   }
+  NotifyIfChanged(before);
   return surveyed;
 }
 
 bool ClusterIndex::RefreshHost(std::string_view host, sim::Nanos now) {
   IndexEntry* e = FindMutable(host);
   if (e == nullptr) return false;
+  const uint64_t before = epoch_;
   Survey(*e, now);
+  NotifyIfChanged(before);
   return true;
 }
 

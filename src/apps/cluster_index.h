@@ -39,12 +39,27 @@
 // Determinism: entries live in network host order, the rank is (load, network
 // order), and every update is bookkeeping — no RNG, no virtual-time cost — so
 // indexed runs replay bit-identically.
+//
+// Event-driven consumers: every mutation that changes what a placement
+// decision could see (a load, a down flag, a reachability verdict, an
+// occupancy count, a fault/health score) bumps epoch() and fires the wake
+// callback once per completed update. Alongside the rank the index maintains
+// O(1) live-load aggregates — LoadSpread() (max - min indexed load over
+// entries not marked down) and TotalLoad() — so a balancer's wake predicate
+// costs two multiset-end reads per poll, not a scan. Both are *indexed* views:
+// a host that died since its last observation still counts as live until the
+// next sample or refresh folds the truth in, which is why event-driven
+// consumers keep a heartbeat. The callback runs inside the mutation (sampler
+// publish, fault record, migrate delta) and must stay pure bookkeeping:
+// set a flag, never touch the clock, the RNG, or the index.
 
 #ifndef PMIG_SRC_APPS_CLUSTER_INDEX_H_
 #define PMIG_SRC_APPS_CLUSTER_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <string_view>
@@ -135,12 +150,51 @@ class ClusterIndex {
   const std::multiset<std::pair<int, size_t>>& rank() const { return rank_; }
   const IndexEntry& entry(size_t order) const { return entries_[order]; }
 
+  // --- event-driven read side --------------------------------------------------
+
+  // Bumped on every mutation a placement decision could observe (load, down,
+  // reachable, occupancy, fault/health score). updated_at renewals alone do
+  // not count — freshness is not an event. Monotonic within one index.
+  uint64_t epoch() const { return epoch_; }
+
+  // Indexed max - min load over entries not marked down (0 with fewer than two
+  // such entries) and their load sum. O(1): maintained incrementally with the
+  // rank, never a scan.
+  int LoadSpread() const;
+  int TotalLoad() const;
+
+  // True when some entry this index has marked unreachable can be reached
+  // again right now. Reachable() is a pure function of the partition config
+  // and the virtual clock, so heals generate no event — wait predicates poll
+  // this (no metrics are booked from here).
+  bool AnyMarkedUnreachableHealed() const;
+
+  // Invoked once after every epoch-bumping update completes, from inside the
+  // mutation (a sampler publish, a fault record, a migrate delta). Must be
+  // pure bookkeeping: set a flag for a blocked waiter's predicate to read —
+  // no clock, no RNG, no calls back into the index.
+  void set_wake_callback(std::function<void()> wake) { wake_ = std::move(wake); }
+
   net::Network* net() const { return net_; }
 
  private:
+  // Shared with the listener closure installed on the FaultHistory: an index
+  // destroyed while *buried* in the chain (a later subscriber still holds a
+  // closure forwarding to it) cannot unlink itself, so the closure outlives it
+  // as a pure forwarder once `index` is nulled.
+  struct ListenerChain {
+    ClusterIndex* index = nullptr;
+    sim::FaultHistory::Listener chained;
+  };
+
   IndexEntry* FindMutable(std::string_view host);
   void SetLoad(IndexEntry& e, int load);
+  void SetDown(IndexEntry& e, bool down);
+  void SetReachable(IndexEntry& e, bool reachable);
   void Survey(IndexEntry& e, sim::Nanos now);
+  void OnFaultRecorded(std::string_view host);
+  // Fires the wake callback iff the epoch moved past `epoch_before`.
+  void NotifyIfChanged(uint64_t epoch_before);
 
   net::Network* net_;
   std::string local_;
@@ -148,9 +202,18 @@ class ClusterIndex {
   std::vector<IndexEntry> entries_;
   std::map<std::string, size_t, std::less<>> by_name_;
   std::multiset<std::pair<int, size_t>> rank_;
+  // Loads of entries not marked down, plus their running sum: the O(1) feed
+  // for LoadSpread()/TotalLoad().
+  std::multiset<int> live_loads_;
+  int64_t live_total_ = 0;
+  // Orders of entries currently marked unreachable (the heal watch set).
+  std::set<size_t> unreachable_orders_;
+  uint64_t epoch_ = 0;
+  std::function<void()> wake_;
   uint64_t load_observer_id_ = 0;
   sim::FaultHistory* listening_to_ = nullptr;
-  sim::FaultHistory::Listener chained_listener_;
+  std::shared_ptr<ListenerChain> chain_;
+  uint64_t listener_token_ = 0;
 };
 
 }  // namespace pmig::apps

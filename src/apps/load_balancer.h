@@ -72,6 +72,23 @@ struct LoadBalancerOptions {
   // burning, so moving it pays for itself. Off keeps the historical
   // oldest-first choice.
   bool victim_by_cpu = false;
+  // Event-driven rounds: instead of sleeping poll_interval between rounds, the
+  // balancer arms a wake condition on its ClusterIndex (event_driven implies
+  // use_index) and blocks until an observation — a sampler snapshot, a migrate
+  // delta, a fault/health change, a reachability heal — flips the round's
+  // predicate: indexed LoadSpread() crossing imbalance_threshold after a
+  // balanced round, any index epoch movement after a round that saw work but
+  // could not act. A silent cluster still gets a liveness round every max_idle
+  // (the heartbeat), which also covers what the indexed view cannot see — a
+  // host that died unobserved, a partition heal with no traffic. Off by
+  // default: the classic fixed-interval poller, bit-identical to before.
+  bool event_driven = false;
+  sim::Nanos max_idle = sim::Seconds(60);
+  // Virtual-time budget: stop once this much time has elapsed since the run
+  // started (checked at round boundaries; waits never overshoot it). -1 =
+  // unbounded, the classic max_rounds-only exit. Gives polling and
+  // event-driven runs a common window so their round counts compare.
+  sim::Nanos run_for = -1;
 };
 
 struct LoadBalancerStats {
@@ -87,6 +104,12 @@ struct LoadBalancerStats {
   // classic path counts each wasted leg it was about to pay for.
   int attempts_to_unreachable = 0;
   int index_refreshes = 0;    // hosts re-surveyed by staleness-driven Refresh
+  // Rounds that attempted no migration (balanced, no eligible victim, or no
+  // target) — the idle polls event-driven mode exists to eliminate.
+  int idle_rounds = 0;
+  // Event-driven waits released by a wake event vs by the max_idle heartbeat.
+  int event_wakeups = 0;
+  int heartbeats = 0;
   // One "pid:from->to=rc;" entry per migrate call, in order — the decision
   // sequence, for determinism/equivalence tests and the ablation bench.
   std::string decisions;

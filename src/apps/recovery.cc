@@ -62,12 +62,12 @@ Status WriteLease(kernel::SyscallApi& api, int fd, const std::string& holder,
   return Status::Ok();
 }
 
-}  // namespace
-
-Result<PlacementLease> AcquirePlacementLease(kernel::SyscallApi& api,
-                                             net::Network& net,
-                                             const std::string& target,
-                                             const LeaseOptions& opts) {
+// One acquisition pass: O_EXCL create, break-expired-and-retry-once, or
+// report the contending holder. The public wrapper adds the backoff loop.
+Result<PlacementLease> AcquireLeaseOnce(kernel::SyscallApi& api,
+                                        net::Network& net,
+                                        const std::string& target,
+                                        const LeaseOptions& opts) {
   const std::string local = api.GetHostname();
   const std::string path = LeasePath(local, target);
   sim::MetricsRegistry& metrics = api.kernel().metrics();
@@ -125,6 +125,28 @@ Result<PlacementLease> AcquirePlacementLease(kernel::SyscallApi& api,
   lease.target = target;
   metrics.Inc("lease.contended");
   return lease;
+}
+
+}  // namespace
+
+Result<PlacementLease> AcquirePlacementLease(kernel::SyscallApi& api,
+                                             net::Network& net,
+                                             const std::string& target,
+                                             const LeaseOptions& opts) {
+  sim::Nanos backoff = opts.first_backoff;
+  sim::Nanos waited = 0;
+  for (;;) {
+    const Result<PlacementLease> r = AcquireLeaseOnce(api, net, target, opts);
+    // Errors (unreachable target) and wins return as-is; so does contention
+    // once the wait budget cannot cover another backoff — the default budget
+    // of 0 keeps the classic immediate-contention return bit-identical.
+    if (!r.ok() || r->held) return r;
+    if (backoff <= 0 || waited + backoff > opts.wait) return r;
+    api.Sleep(backoff);
+    waited += backoff;
+    api.kernel().metrics().Inc("lease.wait_ns", backoff);
+    backoff = std::min(backoff * 2, opts.max_backoff);
+  }
 }
 
 Status RenewPlacementLease(kernel::SyscallApi& api, PlacementLease* lease,

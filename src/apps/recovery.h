@@ -47,6 +47,16 @@ inline constexpr char kLeaseDir[] = "/var/lease";
 
 struct LeaseOptions {
   sim::Nanos ttl = sim::Seconds(30);
+  // Contention wait budget. 0 (the default) keeps the classic one-shot
+  // behaviour: contention returns held=false immediately and the caller picks
+  // somewhere else. Positive: retry the acquisition with deterministic
+  // doubling backoff — sleep first_backoff, then double up to max_backoff —
+  // until a retry would push the total slept time past `wait`. Backoff stops
+  // contending coordinators from hammering the target's lease file at a fixed
+  // cadence; the slept time is booked in the lease.wait_ns counter.
+  sim::Nanos wait = 0;
+  sim::Nanos first_backoff = sim::Millis(100);
+  sim::Nanos max_backoff = sim::Seconds(5);
 };
 
 struct PlacementLease {

@@ -203,7 +203,14 @@ bool Cluster::Step() {
   // already took its quantum. That is still work: reporting false here would
   // let the drivers below consult NextDeadline() — which may name a far-future
   // timeout timer — and fast-forward the clock right past the runnable process.
+  // The sampler publish above can likewise satisfy a blocked waiter's
+  // condition (an event-driven balancer armed on the observation stream), so
+  // wake-check blocked processes here: otherwise the drivers would
+  // fast-forward an already-released wait all the way to its heartbeat timer.
   if (!ran) {
+    for (auto& k : hosts_) {
+      k->WakeBlockedProcs();
+    }
     for (auto& k : hosts_) {
       if (k->HasRunnableProc()) return true;
     }

@@ -102,6 +102,15 @@ class Network {
   // Publishing is pure bookkeeping — no virtual time, no RNG — so an armed
   // sampler with observers stays bit-identical to one without. Observers must
   // remove themselves before they are destroyed.
+  //
+  // Delivery order is guaranteed: observers run in ascending registration
+  // order, so a subscriber registered before another always folds an
+  // observation in first. Event-driven consumers rely on this — a balancer's
+  // wake condition (armed from its ClusterIndex's observer) must fire only
+  // after that index has already absorbed the observation it is judging.
+  // Delivery is also mutation-safe: an observer may add or remove observers
+  // (including itself) mid-publish; removed observers registered later in the
+  // same publish are simply skipped.
   uint64_t AddLoadObserver(std::function<void(const LoadObservation&)> fn);
   void RemoveLoadObserver(uint64_t id);
   void PublishLoad(const LoadObservation& obs);

@@ -62,9 +62,19 @@ class FaultHistory {
   // apps::ClusterIndex) subscribe so fault updates reach them without polling.
   // A subscriber that replaces an existing listener should save it and chain;
   // recording stays pure bookkeeping (no time, no RNG) regardless.
+  //
+  // Every set_listener bumps listener_token(): a chaining subscriber saves the
+  // token its own install produced and, on teardown, restores the saved chain
+  // only while the token still matches — i.e. only while it is the *top* of the
+  // chain. Without the token check, destroying stacked subscribers out of LIFO
+  // order re-installs a closure capturing a destroyed subscriber.
   using Listener = std::function<void(std::string_view host)>;
-  void set_listener(Listener listener) { listener_ = std::move(listener); }
+  void set_listener(Listener listener) {
+    listener_ = std::move(listener);
+    ++listener_token_;
+  }
   const Listener& listener() const { return listener_; }
+  uint64_t listener_token() const { return listener_token_; }
 
  private:
   struct Entry {
@@ -81,6 +91,7 @@ class FaultHistory {
   Nanos half_life_;
   std::map<std::string, Entry, std::less<>> entries_;
   Listener listener_;
+  uint64_t listener_token_ = 0;
 };
 
 }  // namespace pmig::sim

@@ -20,6 +20,7 @@
 #include "src/apps/load_balancer.h"
 #include "src/apps/night_shift.h"
 #include "src/apps/placement.h"
+#include "src/apps/recovery.h"
 #include "src/core/test_programs.h"
 #include "tests/test_util.h"
 
@@ -328,6 +329,246 @@ TEST(ClusterIndex, ChaosSoakWithIndexReplaysBitIdentically) {
   EXPECT_EQ(scenario(&first), kJobs);   // nothing lost
   EXPECT_EQ(scenario(&second), kJobs);
   EXPECT_EQ(first, second);  // bit-identical replay with the index on
+}
+
+// The same crash schedule with the event-driven balancer: rounds fire on
+// sampler edges, migrate deltas, and fault records instead of a poll timer.
+// This schedule bisects one migration — the 30s crash lands between the
+// transactional dump (which kills the origin) and the restart — so the job
+// survives only as an orphaned dump set on the crashed host. Conservation is
+// asserted end-to-end: after the heal and the reaper's grace period, one
+// reaper pass must revive exactly that job, and the whole run (decisions,
+// wakeups, revival, final placement) must replay bit-identically.
+TEST(ClusterIndex, ChaosSoakEventDrivenConservesAndReplays) {
+  constexpr int kJobs = 5;
+  auto scenario = [kJobs](std::string* fingerprint) {
+    WorldOptions options;
+    options.num_hosts = 3;
+    options.daemons = true;
+    options.metrics = true;
+    options.sample_period = sim::Millis(500);  // the wakeup source
+    options.faults.enabled = true;
+    options.faults.crashes.push_back({"schooner", sim::Seconds(6), sim::Seconds(18)});
+    options.faults.crashes.push_back({"schooner", sim::Seconds(30), sim::Seconds(42)});
+    World world(options);
+    const std::string padded = core::WithPadding(core::CpuHogProgramSource(),
+                                                 /*extra_text_instructions=*/6000,
+                                                 /*extra_data_bytes=*/50000);
+    for (const auto& host : world.cluster().hosts()) {
+      core::InstallProgram(*host, "/bin/bighog", padded);
+    }
+    for (int i = 0; i < kJobs; ++i) {
+      // Long enough that no job completes inside the 60s balancer budget —
+      // conservation counts live processes, so none may finish legitimately.
+      world.StartVm("brick", "/bin/bighog", {"bighog", "500000000"});
+    }
+    net::Network* net = &world.cluster().network();
+    auto stats = std::make_shared<apps::LoadBalancerStats>();
+    RunSystem(world, "brick", [net, stats](SyscallApi& api) {
+      apps::LoadBalancerOptions lb;
+      lb.poll_interval = sim::Seconds(2);
+      lb.min_age = sim::Seconds(1);
+      lb.max_rounds = 12;
+      lb.policy = PlacementPolicy::kFaultAware;
+      lb.migrate = core::MigrateOptions::Robust();
+      lb.use_index = true;
+      lb.index_ttl = sim::Seconds(4);
+      lb.batch_per_round = 2;
+      lb.event_driven = true;
+      lb.max_idle = sim::Seconds(20);
+      lb.run_for = sim::Seconds(60);
+      *stats = apps::RunLoadBalancer(api, *net, lb);
+      return 0;
+    });
+    world.cluster().RunUntil([&world] { return !world.host("schooner").down(); },
+                             sim::Seconds(120));
+    // Let the orphaned set age past the reaper's grace period — the paused
+    // dumpproc resumes at the 42s heal and commits its ready marker then —
+    // and settle it with one reaper pass.
+    world.cluster().RunFor(sim::Seconds(65));
+    auto reaped = std::make_shared<apps::ReaperReport>();
+    RunSystem(world, "brador", [net, reaped](SyscallApi& api) {
+      *reaped = apps::ReapOrphans(api, *net);
+      return 0;
+    });
+    world.cluster().RunFor(sim::Seconds(2));
+    EXPECT_EQ(reaped->revived.size(), 1u);  // the bisected migration's job
+    int alive = 0;
+    std::ostringstream fp;
+    fp << stats->decisions << "|m=" << stats->migrations
+       << ",f=" << stats->failed_migrations << ",fb=" << stats->fallback_restarts
+       << ",rounds=" << stats->rounds << ",ev=" << stats->event_wakeups
+       << ",hb=" << stats->heartbeats << "|reap=" << reaped->log;
+    for (const auto& host : world.cluster().hosts()) {
+      int n = 0;
+      for (kernel::Proc* p : host->ListProcs()) {
+        if (p->kind == kernel::ProcKind::kVm && p->Alive()) ++n;
+      }
+      alive += n;
+      fp << "|" << host->hostname() << "=" << n;
+    }
+    fp << "|t=" << world.cluster().clock().now();
+    *fingerprint = fp.str();
+    EXPECT_EQ(stats->attempts_to_down, 0);
+    EXPECT_EQ(stats->attempts_to_unreachable, 0);
+    EXPECT_GT(stats->migrations, 0);  // the wakeups actually drove rebalancing
+    return alive;
+  };
+  std::string first, second;
+  EXPECT_EQ(scenario(&first), kJobs) << first;
+  EXPECT_EQ(scenario(&second), kJobs) << second;
+  EXPECT_EQ(first, second);
+}
+
+// --- Stacked indexes and the FaultHistory listener chain ---
+
+// Two coordinators' indexes chain onto the one FaultHistory listener slot.
+// Destroying them in *either* order must keep the chain safe: the pre-existing
+// listener underneath keeps firing, the survivor keeps folding scores in, and
+// no closure over a destroyed index is ever invoked (the pre-fix destructor
+// unconditionally re-installed its saved chain, so destroying the older index
+// last resurrected a callback capturing the already-destroyed newer one —
+// a use-after-free ASan catches).
+TEST(ClusterIndex, StackedIndexesDestroyInEitherOrderWithoutCorruptingChain) {
+  for (const bool newer_first : {true, false}) {
+    WorldOptions options;
+    options.num_hosts = 3;
+    World world(options);
+    net::Network* net = &world.cluster().network();
+    sim::FaultHistory* history = net->fault_history();
+    ASSERT_NE(history, nullptr);
+    int base_calls = 0;
+    history->set_listener([&base_calls](std::string_view) { ++base_calls; });
+
+    auto older = std::make_unique<ClusterIndex>(net, "brick");
+    auto newer = std::make_unique<ClusterIndex>(net, "schooner");
+    history->RecordFailure("brador", Errno::kHostUnreach);
+    EXPECT_EQ(base_calls, 1);  // the chain reaches the base listener
+    EXPECT_GT(older->Find("brador")->fault_score, 0.0);
+    EXPECT_GT(newer->Find("brador")->fault_score, 0.0);
+
+    ClusterIndex* survivor;
+    if (newer_first) {
+      newer.reset();
+      survivor = older.get();
+    } else {
+      older.reset();
+      survivor = newer.get();
+    }
+    const double before = survivor->Find("brador")->fault_score;
+    history->RecordFailure("brador", Errno::kHostUnreach);
+    EXPECT_EQ(base_calls, 2) << (newer_first ? "newer" : "older")
+                             << " destroyed first broke the base listener";
+    EXPECT_GT(survivor->Find("brador")->fault_score, before);
+
+    older.reset();
+    newer.reset();
+    history->RecordFailure("brador", Errno::kHostUnreach);
+    EXPECT_EQ(base_calls, 3);  // both gone: the base listener alone remains
+  }
+}
+
+// --- Armed but idle: event-driven must change nothing ---
+
+struct ArmedIdleOutcome {
+  std::string decisions;
+  int migrations = 0;
+  int rounds = 0;
+  int event_wakeups = 0;
+  int heartbeats = 0;
+  sim::Nanos drained_at = 0;   // the workload's own timeline
+  sim::Nanos final_clock = 0;  // after the balancer exits
+  int64_t surveys = 0;
+};
+
+// Jobs on every host but the coordinator's, loads balanced below the
+// threshold: the balancer (either mode) must watch without ever acting.
+ArmedIdleOutcome RunArmedIdle(bool event_driven) {
+  WorldOptions options;
+  options.num_hosts = 4;
+  options.daemons = true;
+  options.metrics = true;
+  options.sample_period = sim::Millis(500);
+  World world(options);
+  for (const char* host : {"schooner", "brador", "classic"}) {
+    world.StartVm(host, "/bin/hog", {"hog", "20000000"});
+  }
+  world.cluster().RunFor(sim::Seconds(2));
+  net::Network* net = &world.cluster().network();
+  auto stats = std::make_shared<apps::LoadBalancerStats>();
+  kernel::SpawnOptions opts;  // root
+  opts.tty = world.console("brick");
+  opts.cwd = "/";
+  const int32_t balancer = world.host("brick").SpawnNative(
+      "balancer",
+      [net, event_driven, stats](SyscallApi& api) {
+        apps::LoadBalancerOptions lb;
+        lb.poll_interval = sim::Seconds(2);
+        lb.min_age = sim::Seconds(1);
+        lb.max_rounds = 100;
+        lb.use_index = true;
+        lb.index_ttl = sim::Seconds(600);
+        lb.event_driven = event_driven;
+        lb.max_idle = sim::Seconds(30);
+        *stats = apps::RunLoadBalancer(api, *net, lb);
+        return 0;
+      },
+      opts);
+  ArmedIdleOutcome out;
+  world.cluster().RunUntil(
+      [&world] {
+        for (const auto& host : world.cluster().hosts()) {
+          for (kernel::Proc* p : host->ListProcs()) {
+            if (p->kind == kernel::ProcKind::kVm && p->Alive()) return false;
+          }
+        }
+        return true;
+      },
+      sim::Seconds(300));
+  out.drained_at = world.cluster().clock().now();
+  world.RunUntilExited("brick", balancer, sim::Seconds(300));
+  out.decisions = stats->decisions;
+  out.migrations = stats->migrations;
+  out.rounds = stats->rounds;
+  out.event_wakeups = stats->event_wakeups;
+  out.heartbeats = stats->heartbeats;
+  out.final_clock = world.cluster().clock().now();
+  out.surveys = SurveyMessages(world);
+  return out;
+}
+
+TEST(ClusterIndex, ArmedButIdleEventBalancerMatchesPollingAndReplays) {
+  const ArmedIdleOutcome polling = RunArmedIdle(false);
+  const ArmedIdleOutcome event = RunArmedIdle(true);
+
+  // Neither mode acts: empty decision logs, zero migrations.
+  EXPECT_EQ(polling.decisions, "");
+  EXPECT_EQ(event.decisions, "");
+  EXPECT_EQ(polling.migrations, 0);
+  EXPECT_EQ(event.migrations, 0);
+
+  // The workload's timeline is bit-identical: an armed-but-idle event balancer
+  // perturbs the jobs exactly as much as the idle poller does — not at all.
+  EXPECT_EQ(event.drained_at, polling.drained_at);
+
+  // Both modes pay only the one-time index build (4 hosts); no idle surveys.
+  EXPECT_EQ(polling.surveys, 4);
+  EXPECT_EQ(event.surveys, 4);
+
+  // The event balancer wakes for heartbeats (and the final drain observation),
+  // not every poll_interval: strictly fewer rounds over the same window.
+  EXPECT_LT(event.rounds, polling.rounds);
+  EXPECT_GT(event.heartbeats, 0);  // the liveness pass on a silent cluster
+
+  // And the whole event-driven run replays bit-identically.
+  const ArmedIdleOutcome replay = RunArmedIdle(true);
+  EXPECT_EQ(replay.decisions, event.decisions);
+  EXPECT_EQ(replay.rounds, event.rounds);
+  EXPECT_EQ(replay.event_wakeups, event.event_wakeups);
+  EXPECT_EQ(replay.heartbeats, event.heartbeats);
+  EXPECT_EQ(replay.drained_at, event.drained_at);
+  EXPECT_EQ(replay.final_clock, event.final_clock);
+  EXPECT_EQ(replay.surveys, event.surveys);
 }
 
 // --- Batch placement lookahead ---

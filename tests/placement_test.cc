@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -187,10 +188,16 @@ TEST(Placement, CostAwarePrefersTheWarmSegmentCache) {
 
 // A copy of the balancer loop as it stood before the placement engine (idlest =
 // min_element over the survey, one-shot migrations), instrumented to log the
-// same decision string the new balancer records.
+// same decision string the new balancer records. Like the current balancer, it
+// exits instead of paying a trailing poll_interval sleep after its last round
+// (the pre-fix loop slept even when no round would follow, inflating every
+// converged run's timeline by one interval).
 std::string LegacyRunLoadBalancer(SyscallApi& api, net::Network& net,
                                   const apps::LoadBalancerOptions& options) {
   std::string decisions;
+  const auto last_round = [&options](int round) {
+    return round + 1 >= options.max_rounds;
+  };
   for (int round = 0; round < options.max_rounds; ++round) {
     auto loads = apps::SurveyLoad(net);
     auto busiest = std::max_element(loads.begin(), loads.end(),
@@ -201,7 +208,7 @@ std::string LegacyRunLoadBalancer(SyscallApi& api, net::Network& net,
     if (busiest->second - idlest->second < options.imbalance_threshold) {
       int total = 0;
       for (const auto& [host, n] : loads) total += n;
-      if (total == 0) break;
+      if (total == 0 || last_round(round)) break;
       api.Sleep(options.poll_interval);
       continue;
     }
@@ -221,6 +228,7 @@ std::string LegacyRunLoadBalancer(SyscallApi& api, net::Network& net,
       if (candidate == nullptr || q->start_time < candidate->start_time) candidate = q;
     }
     if (candidate == nullptr) {
+      if (last_round(round)) break;
       api.Sleep(options.poll_interval);
       continue;
     }
@@ -229,6 +237,7 @@ std::string LegacyRunLoadBalancer(SyscallApi& api, net::Network& net,
                                  options.use_daemon);
     decisions += std::to_string(victim) + ":" + busiest->first + "->" + idlest->first +
                  "=" + std::to_string(rc) + ";";
+    if (last_round(round)) break;
     api.Sleep(options.poll_interval);
   }
   return decisions;
@@ -265,6 +274,44 @@ TEST(Placement, LoadOnlyReproducesLegacyDecisionSequence) {
   EXPECT_FALSE(legacy_decisions.empty());  // the scenario must actually migrate
   EXPECT_EQ(engine_decisions, legacy_decisions);
   EXPECT_EQ(engine_clock, legacy_clock);  // same decisions, same virtual timeline
+}
+
+// The exit paths pay no trailing poll_interval: a balancer that just ran its
+// last allowed round returns immediately instead of sleeping first and
+// re-discovering the round budget at the top of the loop.
+TEST(Placement, BalancerExitsWithoutTrailingSleep) {
+  auto scenario = [](int max_rounds) {
+    WorldOptions options;
+    options.num_hosts = 3;
+    options.daemons = true;
+    World world(options);
+    // One long hog per host: balanced but busy, so every round is an idle
+    // watch round and the loop's only virtual-time cost is its sleeps.
+    for (const char* host : {"brick", "schooner", "brador"}) {
+      world.StartVm(host, "/bin/hog", {"hog", "200000000"});
+    }
+    world.cluster().RunFor(sim::Seconds(2));
+    net::Network* net = &world.cluster().network();
+    auto elapsed = std::make_shared<sim::Nanos>(0);
+    RunSystem(world, "brick", [net, max_rounds, elapsed](SyscallApi& api) {
+      apps::LoadBalancerOptions lb;
+      lb.poll_interval = sim::Seconds(2);
+      lb.max_rounds = max_rounds;
+      const sim::Nanos t0 = api.Now();
+      apps::RunLoadBalancer(api, *net, lb);
+      *elapsed = api.Now() - t0;
+      return 0;
+    });
+    return *elapsed;
+  };
+  // A single allowed round must exit without paying the interval at all (the
+  // pre-fix loop slept its full poll_interval before noticing it was done)...
+  EXPECT_LT(scenario(1), sim::Seconds(2));
+  // ...and N rounds pay exactly the N-1 intervals *between* rounds, never a
+  // trailing one (pre-fix: >= 3 intervals here).
+  const sim::Nanos three = scenario(3);
+  EXPECT_GE(three, sim::Seconds(4));
+  EXPECT_LT(three, sim::Seconds(6));
 }
 
 // --- The balancer under a crash-and-recover schedule ---

@@ -190,6 +190,92 @@ TEST(PlacementLeaseTest, ExpiredLeaseIsBrokenAndOldHolderLearns) {
   EXPECT_EQ(metrics.Counter("lease.acquired"), 2);
 }
 
+// wait > 0 turns contention into deterministic doubling backoff: sleeps of
+// first_backoff, 2x, 4x, ... capped at max_backoff, stopping before the total
+// would exceed `wait`. With first=100ms, cap=400ms, wait=2s the schedule is
+// exactly 100+200+400+400+400+400 = 1900ms of sleep (a 7th 400ms retry would
+// reach 2300ms), every nanosecond of it booked in lease.wait_ns.
+TEST(PlacementLeaseTest, ContentionBacksOffDeterministicallyUpToWaitBudget) {
+  test::WorldOptions options;
+  options.num_hosts = 3;
+  options.metrics = true;
+  World world(options);
+  net::Network* net = &world.cluster().network();
+
+  RunNative(world, "brick", [net](SyscallApi& api) {
+    const Result<apps::PlacementLease> r =
+        apps::AcquirePlacementLease(api, *net, "schooner");
+    EXPECT_TRUE(r.ok() && r->held);
+    return 0;
+  });
+
+  RunNative(world, "brador", [net](SyscallApi& api) {
+    apps::LeaseOptions lopts;
+    lopts.wait = sim::Seconds(2);
+    lopts.first_backoff = sim::Millis(100);
+    lopts.max_backoff = sim::Millis(400);
+    const sim::Nanos t0 = api.Now();
+    const Result<apps::PlacementLease> r =
+        apps::AcquirePlacementLease(api, *net, "schooner", lopts);
+    const sim::Nanos elapsed = api.Now() - t0;
+    EXPECT_TRUE(r.ok());
+    EXPECT_FALSE(r->held);
+    EXPECT_EQ(r->holder, "brick");
+    // The sleeps total exactly 1900ms; the attempts themselves cost RPC time
+    // on top, so bound loosely above. The exact slept time is pinned by the
+    // lease.wait_ns assertion below.
+    EXPECT_GE(elapsed, sim::Millis(1900));
+    EXPECT_LT(elapsed, sim::Seconds(4));
+    return 0;
+  });
+
+  const sim::MetricsRegistry metrics = world.cluster().AggregateMetrics();
+  EXPECT_EQ(metrics.Counter("lease.wait_ns"), sim::Millis(1900));
+  EXPECT_EQ(metrics.Counter("lease.contended"), 7);  // initial try + 6 retries
+  EXPECT_EQ(metrics.Counter("lease.acquired"), 1);
+}
+
+// A release during the backoff window hands the lease to the waiter instead of
+// running out its budget.
+TEST(PlacementLeaseTest, BackoffWinsWhenHolderReleasesMidWait) {
+  test::WorldOptions options;
+  options.num_hosts = 3;
+  options.metrics = true;
+  World world(options);
+  net::Network* net = &world.cluster().network();
+
+  // Holder takes the lease, sits on it for 350ms, then releases — concurrent
+  // with the contender below.
+  const int32_t holder = world.host("brick").SpawnNative(
+      "holder",
+      [net](SyscallApi& api) {
+        const Result<apps::PlacementLease> r =
+            apps::AcquirePlacementLease(api, *net, "schooner");
+        EXPECT_TRUE(r.ok() && r->held);
+        api.Sleep(sim::Millis(350));
+        apps::ReleasePlacementLease(api, *r);
+        return 0;
+      },
+      kernel::SpawnOptions{});
+  world.cluster().RunFor(sim::Millis(50));  // let the holder win the race
+
+  RunNative(world, "brador", [net](SyscallApi& api) {
+    apps::LeaseOptions lopts;
+    lopts.wait = sim::Seconds(2);
+    const Result<apps::PlacementLease> r =
+        apps::AcquirePlacementLease(api, *net, "schooner", lopts);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r->held);  // retries at +100/+300/+700ms; the holder let go
+    EXPECT_EQ(r->holder, "brador");
+    return 0;
+  });
+  EXPECT_TRUE(world.RunUntilExited("brick", holder, sim::Seconds(10)));
+
+  const sim::MetricsRegistry metrics = world.cluster().AggregateMetrics();
+  EXPECT_EQ(metrics.Counter("lease.acquired"), 2);
+  EXPECT_GT(metrics.Counter("lease.wait_ns"), 0);
+}
+
 TEST(PlacementLeaseTest, PartitionedTargetFailsCleanlyAndHealedSucceeds) {
   test::WorldOptions options;
   options.num_hosts = 3;
