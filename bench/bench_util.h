@@ -110,6 +110,7 @@ inline void EnableAllInstrumentation(TestbedOptions* options) {
   options->spans = true;
   options->flight_recorder = true;
   options->sample_period = sim::Millis(50);
+  options->decision_log = true;
 }
 
 // Appends one raw JSONL line to the report file (no-op without --report).

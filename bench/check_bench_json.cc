@@ -1,17 +1,28 @@
-// Schema gate for the standardized BENCH_<name>.json files.
+// Schema gate for the standardized BENCH_<name>.json files and for JSONL run
+// reports.
 //
-// Every bench binary writes one of these next to itself (see WriteBenchJson);
-// bench/baselines/ commits a reference copy per bench. Downstream tooling
-// (EXPERIMENTS.md tables, dashboards) parses them, so the shape is a contract:
+// Every bench binary writes a BENCH_<name>.json next to itself (see
+// WriteBenchJson); bench/baselines/ commits a reference copy per bench.
+// Downstream tooling (EXPERIMENTS.md tables, dashboards) parses them, so the
+// shape is a contract:
 //
 //   {"bench": <string>, "rows": [{"case": <string>, "vcpu_ms": <number>,
 //                                 "vreal_ms": <number>, "bytes_moved": <int>}...]}
 //
-// Usage: check_bench_json <file-or-dir>... — directories are scanned for
-// BENCH_*.json. Exits 1 if any file fails to parse, misses a required key, has
-// a wrong type, carries a negative measurement, or has no rows.
+// Cluster::WriteReport's JSONL output is a contract too — every line is one
+// {"type": ...} object, and each type carries a fixed key set (report, meta,
+// counter, gauge, histogram, span, phase_summary, trace_summary, sample,
+// postmortem, alert, slo, decision, plus the bench harness's bench_row). The
+// --report mode validates a report file line by line against that table; an
+// unknown type or a missing/mistyped required key fails, so a writer cannot
+// silently drift away from what the readers parse.
 //
-// The parser below covers exactly the JSON subset WriteBenchJson emits (no
+// Usage: check_bench_json <file-or-dir>...           (BENCH_*.json mode;
+//        directories are scanned for BENCH_*.json)
+//        check_bench_json --report <file.jsonl>...   (report-line mode)
+// Exits 1 on any violation.
+//
+// The parser below covers exactly the JSON subset our writers emit (no
 // third-party JSON dependency in this repo, by design).
 
 #include <cctype>
@@ -79,6 +90,353 @@ struct Cursor {
     return true;
   }
 };
+
+// A minimal JSON value for the report-line mode (the BENCH mode keeps its
+// fixed-shape parser above).
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+  std::vector<JsonValue> arr;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+const char* KindName(JsonValue::Kind k) {
+  switch (k) {
+    case JsonValue::kNull: return "null";
+    case JsonValue::kBool: return "bool";
+    case JsonValue::kNumber: return "number";
+    case JsonValue::kString: return "string";
+    case JsonValue::kObject: return "object";
+    case JsonValue::kArray: return "array";
+  }
+  return "?";
+}
+
+bool ParseValue(Cursor* c, JsonValue* out) {
+  c->SkipWs();
+  if (c->pos >= c->text->size()) return c->Fail("unexpected end of input");
+  const char ch = (*c->text)[c->pos];
+  if (ch == '{') {
+    ++c->pos;
+    out->kind = JsonValue::kObject;
+    c->SkipWs();
+    if (c->pos < c->text->size() && (*c->text)[c->pos] == '}') {
+      ++c->pos;
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      if (!c->ParseString(&key)) return false;
+      if (!c->Eat(':')) return false;
+      JsonValue v;
+      if (!ParseValue(c, &v)) return false;
+      out->obj.emplace_back(std::move(key), std::move(v));
+      c->SkipWs();
+      if (c->pos < c->text->size() && (*c->text)[c->pos] == ',') {
+        ++c->pos;
+        continue;
+      }
+      break;
+    }
+    return c->Eat('}');
+  }
+  if (ch == '[') {
+    ++c->pos;
+    out->kind = JsonValue::kArray;
+    c->SkipWs();
+    if (c->pos < c->text->size() && (*c->text)[c->pos] == ']') {
+      ++c->pos;
+      return true;
+    }
+    for (;;) {
+      JsonValue v;
+      if (!ParseValue(c, &v)) return false;
+      out->arr.push_back(std::move(v));
+      c->SkipWs();
+      if (c->pos < c->text->size() && (*c->text)[c->pos] == ',') {
+        ++c->pos;
+        continue;
+      }
+      break;
+    }
+    return c->Eat(']');
+  }
+  if (ch == '"') {
+    out->kind = JsonValue::kString;
+    return c->ParseString(&out->str);
+  }
+  if (c->text->compare(c->pos, 4, "true") == 0) {
+    out->kind = JsonValue::kBool;
+    out->b = true;
+    c->pos += 4;
+    return true;
+  }
+  if (c->text->compare(c->pos, 5, "false") == 0) {
+    out->kind = JsonValue::kBool;
+    out->b = false;
+    c->pos += 5;
+    return true;
+  }
+  if (c->text->compare(c->pos, 4, "null") == 0) {
+    out->kind = JsonValue::kNull;
+    c->pos += 4;
+    return true;
+  }
+  out->kind = JsonValue::kNumber;
+  return c->ParseNumber(&out->num, nullptr);
+}
+
+// The report-line contract: required keys (and their kinds) per "type". A line
+// may not carry keys outside this set either — the schema is exact, so adding
+// a field to a writer forces the matching update here (and a look at the
+// readers), never a silent drift.
+struct ReportField {
+  const char* key;
+  JsonValue::Kind kind;
+};
+struct ReportSchema {
+  const char* type;
+  std::vector<ReportField> fields;
+};
+
+const std::vector<ReportSchema>& ReportSchemas() {
+  using JV = JsonValue;
+  static const std::vector<ReportSchema> schemas = {
+      {"report", {{"virtual_now_ns", JV::kNumber}, {"hosts", JV::kArray}}},
+      {"meta",
+       {{"seed", JV::kNumber},
+        {"hosts", JV::kNumber},
+        {"config_fingerprint", JV::kString},
+        {"armed", JV::kObject}}},
+      {"counter",
+       {{"host", JV::kString}, {"name", JV::kString}, {"value", JV::kNumber}}},
+      {"gauge",
+       {{"host", JV::kString}, {"name", JV::kString}, {"value", JV::kNumber}}},
+      {"histogram",
+       {{"host", JV::kString},
+        {"name", JV::kString},
+        {"count", JV::kNumber},
+        {"sum_ns", JV::kNumber},
+        {"min_ns", JV::kNumber},
+        {"max_ns", JV::kNumber},
+        {"p50_ns", JV::kNumber},
+        {"p95_ns", JV::kNumber},
+        {"p99_ns", JV::kNumber}}},
+      {"span",
+       {{"id", JV::kNumber},
+        {"phase", JV::kString},
+        {"host", JV::kString},
+        {"pid", JV::kNumber},
+        {"begin_ns", JV::kNumber},
+        {"end_ns", JV::kNumber},
+        {"dur_ns", JV::kNumber},
+        {"trace_id", JV::kNumber},
+        {"parent_id", JV::kNumber}}},
+      {"phase_summary", {{"total_ns", JV::kNumber}, {"phases", JV::kObject}}},
+      {"trace_summary",
+       {{"trace_id", JV::kNumber},
+        {"root_phase", JV::kString},
+        {"root_host", JV::kString},
+        {"total_ns", JV::kNumber},
+        {"phases", JV::kObject},
+        {"critical_path", JV::kArray}}},
+      {"sample",
+       {{"t_ns", JV::kNumber},
+        {"host", JV::kString},
+        {"down", JV::kBool},
+        {"runnable", JV::kNumber},
+        {"segcache_bytes", JV::kNumber},
+        {"fault_score", JV::kNumber}}},
+      {"postmortem",
+       {{"t_ns", JV::kNumber},
+        {"host", JV::kString},
+        {"trace_id", JV::kNumber},
+        {"reason", JV::kString}}},
+      {"alert",
+       {{"t_ns", JV::kNumber},
+        {"rule", JV::kString},
+        {"host", JV::kString},
+        {"value", JV::kNumber},
+        {"detail", JV::kString},
+        {"resolved", JV::kBool},
+        {"resolved_at_ns", JV::kNumber}}},
+      {"slo",
+       {{"name", JV::kString},
+        {"host", JV::kString},
+        {"events", JV::kNumber},
+        {"bad", JV::kNumber},
+        {"allowed", JV::kNumber},
+        {"burn_fast", JV::kNumber},
+        {"burn_slow", JV::kNumber},
+        {"firing_fast", JV::kBool},
+        {"firing_slow", JV::kBool}}},
+      {"decision",
+       {{"seq", JV::kNumber},
+        {"t_ns", JV::kNumber},
+        {"ctx", JV::kString},
+        {"policy", JV::kString},
+        {"src", JV::kString},
+        {"from", JV::kString},
+        {"pid", JV::kNumber},
+        {"chosen", JV::kString},
+        {"runner_up", JV::kString},
+        {"margin_factor", JV::kString},
+        {"margin", JV::kNumber},
+        {"near_tie", JV::kBool},
+        {"trace", JV::kNumber},
+        {"rc", JV::kNumber},
+        {"candidates", JV::kArray},
+        {"exclusions", JV::kArray}}},
+      {"bench_row",
+       {{"figure", JV::kString},
+        {"case", JV::kString},
+        {"vcpu_ms", JV::kNumber},
+        {"vreal_ms", JV::kNumber},
+        {"cpu_norm", JV::kNumber},
+        {"real_norm", JV::kNumber},
+        {"paper", JV::kString}}},
+  };
+  return schemas;
+}
+
+// Per-element contracts for the nested arrays whose shape readers also rely on.
+bool ValidateElements(const JsonValue& arr, const std::vector<ReportField>& fields,
+                      const char* what, std::string* why) {
+  for (size_t i = 0; i < arr.arr.size(); ++i) {
+    const JsonValue& e = arr.arr[i];
+    if (e.kind != JsonValue::kObject) {
+      *why = std::string(what) + "[" + std::to_string(i) + "] is not an object";
+      return false;
+    }
+    for (const ReportField& f : fields) {
+      const JsonValue* v = e.Find(f.key);
+      if (v == nullptr || v->kind != f.kind) {
+        *why = std::string(what) + "[" + std::to_string(i) + "]: missing or mistyped \"" +
+               f.key + "\"";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ValidateReportLine(const std::string& line, std::string* why) {
+  Cursor c;
+  c.text = &line;
+  JsonValue root;
+  if (!ParseValue(&c, &root)) {
+    *why = c.error.empty() ? "parse error" : c.error;
+    return false;
+  }
+  c.SkipWs();
+  if (c.pos != line.size()) {
+    *why = "trailing bytes after object";
+    return false;
+  }
+  if (root.kind != JsonValue::kObject) {
+    *why = "line is not an object";
+    return false;
+  }
+  const JsonValue* type = root.Find("type");
+  if (type == nullptr || type->kind != JsonValue::kString) {
+    *why = "missing \"type\"";
+    return false;
+  }
+  const ReportSchema* schema = nullptr;
+  for (const ReportSchema& s : ReportSchemas()) {
+    if (type->str == s.type) {
+      schema = &s;
+      break;
+    }
+  }
+  if (schema == nullptr) {
+    *why = "unknown type \"" + type->str + "\"";
+    return false;
+  }
+  for (const ReportField& f : schema->fields) {
+    const JsonValue* v = root.Find(f.key);
+    if (v == nullptr) {
+      *why = type->str + ": missing \"" + std::string(f.key) + "\"";
+      return false;
+    }
+    if (v->kind != f.kind) {
+      *why = type->str + ": \"" + f.key + "\" is " + KindName(v->kind) + ", want " +
+             KindName(f.kind);
+      return false;
+    }
+  }
+  for (const auto& [key, value] : root.obj) {
+    if (key == "type") continue;
+    bool known = false;
+    for (const ReportField& f : schema->fields) {
+      if (key == f.key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      *why = type->str + ": unexpected key \"" + key + "\"";
+      return false;
+    }
+  }
+  if (type->str == "decision") {
+    using JV = JsonValue;
+    if (!ValidateElements(*root.Find("candidates"),
+                          {{"host", JV::kString},
+                           {"load", JV::kNumber},
+                           {"est_bytes", JV::kNumber},
+                           {"wire", JV::kNumber},
+                           {"restart_ns", JV::kNumber},
+                           {"fault", JV::kNumber},
+                           {"health", JV::kNumber}},
+                          "candidates", why)) {
+      return false;
+    }
+    if (!ValidateElements(*root.Find("exclusions"),
+                          {{"host", JV::kString},
+                           {"reason", JV::kString},
+                           {"value", JV::kNumber}},
+                          "exclusions", why)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValidateReportFile(const std::string& path, std::string* why, int* lines) {
+  std::ifstream in(path);
+  if (!in) {
+    *why = "cannot open";
+    return false;
+  }
+  std::string line;
+  int n = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++n;
+    std::string line_why;
+    if (!ValidateReportLine(line, &line_why)) {
+      *why = "line " + std::to_string(n) + ": " + line_why;
+      return false;
+    }
+  }
+  *lines = n;
+  if (n == 0) {
+    *why = "no report lines";
+    return false;
+  }
+  return true;
+}
 
 struct BenchRow {
   std::string case_name;
@@ -216,8 +574,29 @@ parse_error:
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <BENCH_*.json file or directory>...\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <BENCH_*.json file or directory>...\n"
+                 "       %s --report <report.jsonl>...\n",
+                 argv[0], argv[0]);
     return 2;
+  }
+  if (std::string(argv[1]) == "--report") {
+    if (argc < 3) {
+      std::fprintf(stderr, "check_bench_json: --report needs at least one file\n");
+      return 2;
+    }
+    int bad = 0;
+    for (int i = 2; i < argc; ++i) {
+      std::string why;
+      int lines = 0;
+      if (ValidateReportFile(argv[i], &why, &lines)) {
+        std::printf("ok      %s (%d lines)\n", argv[i], lines);
+      } else {
+        std::printf("INVALID %s: %s\n", argv[i], why.c_str());
+        ++bad;
+      }
+    }
+    return bad == 0 ? 0 : 1;
   }
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {

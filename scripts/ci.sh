@@ -50,7 +50,13 @@ echo "== scale gate =="
 echo "== event-driven balancer gate =="
 ./build/bench/ablation_event --check
 
+echo "== decision-diff gate =="
+(cd build/bench && ./decision_diff --check)
+
 echo "== bench JSON schema gate =="
 ./build/bench/check_bench_json bench/baselines
+
+echo "== report-line schema gate =="
+./build/bench/check_bench_json --report build/bench/REPORT_decision_diff.jsonl
 
 echo "ci: all green"

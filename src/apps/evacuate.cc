@@ -1,6 +1,7 @@
 #include "src/apps/evacuate.h"
 
 #include "src/apps/cluster_index.h"
+#include "src/apps/decision_log.h"
 #include "src/apps/recovery.h"
 #include "src/core/tools.h"
 
@@ -54,6 +55,7 @@ EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
       query.fault_threshold = fault_threshold;
       query.health_threshold = health_threshold;
       query.occupancy = true;  // count earlier evacuees even before they reschedule
+      query.context = "evacuation";
       if (index != nullptr) {
         query.index = index;  // survey-free picks from the maintained view
         query.reachable_from = api.GetHostname();  // never aim across a partition
@@ -86,6 +88,9 @@ EvacuationReport EvacuateHost(kernel::SyscallApi& api, net::Network& net,
     const int rc = core::Migrate(api, net, pid, std::string(from_host), target,
                                  use_daemon, opts);
     if (have_lease) ReleasePlacementLease(api, lease);
+    if (DecisionLog* dlog = net.decision_log(); dlog != nullptr && dlog->enabled()) {
+      dlog->AttachOutcome(pid, from_host, target, rc, api.proc().trace_id);
+    }
     if (rc == 0) {
       report.moved.push_back(pid);
       if (index != nullptr) index->NoteMigrated(std::string(from_host), target);

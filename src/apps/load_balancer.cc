@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 
+#include "src/apps/decision_log.h"
 #include "src/apps/recovery.h"
 #include "src/core/tools.h"
 
@@ -197,6 +198,7 @@ LoadBalancerStats RunLoadBalancer(kernel::SyscallApi& api, net::Network& net,
     PlacementQuery query;
     query.from_host = busiest->first;
     query.fault_threshold = options.fault_threshold;
+    query.context = "balancer";
     if (index.has_value()) {
       query.index = &*index;
       // Partitioned-away candidates are filtered before any leg is aimed.
@@ -254,6 +256,9 @@ LoadBalancerStats RunLoadBalancer(kernel::SyscallApi& api, net::Network& net,
       const int rc = core::Migrate(api, net, victim, busiest->first, target,
                                    options.use_daemon, options.migrate);
       if (have_lease) ReleasePlacementLease(api, lease);
+      if (DecisionLog* dlog = net.decision_log(); dlog != nullptr && dlog->enabled()) {
+        dlog->AttachOutcome(victim, busiest->first, target, rc, api.proc().trace_id);
+      }
       if (rc == 0) {
         ++stats.migrations;
         if (index.has_value()) index->NoteMigrated(busiest->first, target);

@@ -1,5 +1,6 @@
 #include "src/apps/night_shift.h"
 
+#include "src/apps/decision_log.h"
 #include "src/apps/recovery.h"
 #include "src/core/tools.h"
 
@@ -27,6 +28,7 @@ NightShiftStats RunNightShift(kernel::SyscallApi& api, net::Network& net,
     PlacementQuery query;
     query.fault_threshold = options.fault_threshold;
     query.occupancy = true;
+    query.context = "night-shift";
     day_host = engine.PickTarget(query);
     if (day_host.empty()) return stats;  // nothing eligible; nothing to run
   }
@@ -98,6 +100,7 @@ NightShiftStats RunNightShift(kernel::SyscallApi& api, net::Network& net,
         query.from_host = day_host;
         query.pid = jobs[i];
         query.fault_threshold = options.fault_threshold;
+        query.context = "night-shift";
         for (size_t tries = 0; tries <= hosts.size(); ++tries) {
           target = engine.PickTarget(query);
           if (target.empty() || !options.lease_targets) break;
@@ -117,6 +120,9 @@ NightShiftStats RunNightShift(kernel::SyscallApi& api, net::Network& net,
       const int rc = core::Migrate(api, net, jobs[i], day_host, target,
                                    options.use_daemon, options.migrate);
       if (have_lease) ReleasePlacementLease(api, lease);
+      if (DecisionLog* dlog = net.decision_log(); dlog != nullptr && dlog->enabled()) {
+        dlog->AttachOutcome(jobs[i], day_host, target, rc, api.proc().trace_id);
+      }
       if (rc == 0) {
         ++stats.spread_migrations;
         ++moved_to_target;

@@ -1,6 +1,9 @@
 #include "src/apps/placement.h"
 
+#include <cmath>
+
 #include "src/apps/cluster_index.h"
+#include "src/apps/decision_log.h"
 #include "src/core/dump_format.h"
 #include "src/sim/hash.h"
 #include "src/vm/cpu.h"
@@ -217,6 +220,121 @@ bool PlacementEngine::Beats(const CandidateScore& better,
   return false;  // equal: the incumbent (earlier in network order) keeps the slot
 }
 
+// The full audit record for one pick. Everything here is a free read or pure
+// bookkeeping: the candidate signals were already computed for the decision,
+// the exclusion walk touches only down()/Reachable()/the query's own lists,
+// and the runner-up re-ranks the in-memory scores — so recording can never
+// move a virtual time or consume RNG, and an armed-but-unread log replays
+// bit-identically (the decision_diff gate pins this).
+void PlacementEngine::RecordDecision(const PlacementQuery& query, bool from_index,
+                                     const std::vector<CandidateScore>& scores,
+                                     const std::string& chosen) const {
+  DecisionLog* log = net_->decision_log();
+  if (log == nullptr || !log->enabled()) return;
+  DecisionRecord r;
+  r.context = query.context;
+  r.policy = std::string(PlacementPolicyName(policy_));
+  r.source = from_index ? "index" : "scan";
+  r.from_host = query.from_host;
+  r.pid = query.pid;
+  r.chosen = chosen;
+  for (const CandidateScore& s : scores) {
+    r.candidates.push_back({s.host, s.load, s.est_bytes, s.wire_history,
+                            s.est_restart_ns, s.fault_score, s.health_score});
+  }
+  // Exclusions, in network order. A scored-but-threshold-excluded host keeps
+  // its candidate row (pwhy shows the scores that damned it) *and* gets an
+  // exclusion naming the tripping factor; hosts the filters dropped before
+  // scoring get a structural reason, checked in the filters' own precedence:
+  // liveness, then the caller's exclude list, then reachability.
+  for (kernel::Kernel* host : net_->hosts()) {
+    const std::string& name = host->hostname();
+    if (name == query.from_host) continue;  // the source is never a candidate
+    const CandidateScore* s = nullptr;
+    for (const CandidateScore& cs : scores) {
+      if (cs.host == name) {
+        s = &cs;
+        break;
+      }
+    }
+    if (s != nullptr) {
+      if (s->fault_excluded) {
+        r.exclusions.push_back({name, "fault-threshold", s->fault_score});
+      } else if (s->health_excluded) {
+        r.exclusions.push_back({name, "health-threshold", s->health_score});
+      }
+      continue;
+    }
+    if (host->down()) {
+      r.exclusions.push_back({name, "down", 0});
+      continue;
+    }
+    bool listed = false;
+    for (const std::string& ex : query.exclude) {
+      if (ex == name) {
+        listed = true;
+        break;
+      }
+    }
+    if (listed) {
+      r.exclusions.push_back({name, query.exclude_reason, 0});
+      continue;
+    }
+    if (!query.reachable_from.empty() && name != query.reachable_from &&
+        !net_->Reachable(query.reachable_from, name)) {
+      r.exclusions.push_back({name, "partitioned-from-source", 0});
+    }
+    // A live, reachable, unlisted host absent from the scores can only be a
+    // host the index has not met yet; it was invisible, not excluded.
+  }
+  // Runner-up: the best eligible candidate that is not the winner, ranked by
+  // the same Beats order the pick used. The margin names the first factor
+  // where they differ; a dead tie ("order" — decided only by network
+  // position) is the near-tie an operator should know about.
+  const CandidateScore* chosen_s = nullptr;
+  const CandidateScore* ru = nullptr;
+  for (const CandidateScore& s : scores) {
+    if (!chosen.empty() && s.host == chosen) {
+      chosen_s = &s;
+      continue;
+    }
+    if (s.fault_excluded || s.health_excluded) continue;
+    if (ru == nullptr || Beats(s, *ru)) ru = &s;
+  }
+  if (chosen_s == nullptr) {
+    r.margin_factor = "none";
+  } else if (ru == nullptr) {
+    r.margin_factor = "only";
+  } else {
+    r.runner_up = ru->host;
+    if (chosen_s->load != ru->load) {
+      r.margin_factor = "load";
+      r.margin = std::abs(static_cast<double>(ru->load - chosen_s->load));
+    } else if (UsesCostSignal() && chosen_s->est_bytes != ru->est_bytes) {
+      r.margin_factor = "est_bytes";
+      r.margin = std::abs(static_cast<double>(ru->est_bytes - chosen_s->est_bytes));
+    } else if (UsesFaultSignal() && chosen_s->fault_score != ru->fault_score) {
+      r.margin_factor = "fault";
+      r.margin = std::abs(ru->fault_score - chosen_s->fault_score);
+    } else if (UsesFaultSignal() && chosen_s->health_score != ru->health_score) {
+      r.margin_factor = "health";
+      r.margin = std::abs(ru->health_score - chosen_s->health_score);
+    } else if (UsesCostSignal() && chosen_s->wire_history != ru->wire_history) {
+      r.margin_factor = "wire";
+      r.margin =
+          std::abs(static_cast<double>(ru->wire_history - chosen_s->wire_history));
+    } else if (UsesCostSignal() && chosen_s->est_restart_ns != ru->est_restart_ns) {
+      r.margin_factor = "restart_ns";
+      r.margin = std::abs(
+          static_cast<double>(ru->est_restart_ns - chosen_s->est_restart_ns));
+    } else {
+      r.margin_factor = "order";
+      r.near_tie = true;
+    }
+  }
+  log->Record(std::move(r));
+}
+
 std::string PlacementEngine::PickTarget(const PlacementQuery& query) const {
   if (query.index != nullptr) return PickFromIndex(query);
   const std::vector<CandidateScore> scores = Score(query);
@@ -225,7 +343,9 @@ std::string PlacementEngine::PickTarget(const PlacementQuery& query) const {
     if (s.fault_excluded || s.health_excluded) continue;
     if (best == nullptr || Beats(s, *best)) best = &s;
   }
-  return best != nullptr ? best->host : std::string();
+  const std::string chosen = best != nullptr ? best->host : std::string();
+  RecordDecision(query, /*from_index=*/false, scores, chosen);
+  return chosen;
 }
 
 // The maintained-order pick. The rank multiset is (load, network order)
@@ -245,11 +365,14 @@ std::string PlacementEngine::PickFromIndex(const PlacementQuery& query) const {
       if (s.fault_excluded || s.health_excluded) continue;
       if (best == nullptr || Beats(s, *best)) best = &s;
     }
-    return best != nullptr ? best->host : std::string();
+    const std::string chosen = best != nullptr ? best->host : std::string();
+    RecordDecision(query, /*from_index=*/true, scores, chosen);
+    return chosen;
   }
   kernel::Kernel* from = net_->FindHost(query.from_host);
   std::vector<CandidateScore> group;  // eligible entries at the minimal load
   int group_load = 0;
+  std::string picked;
   for (const auto& [load, order] : index.rank()) {
     if (!group.empty() && load != group_load) break;  // past the minimal group
     const IndexEntry& e = index.entry(order);
@@ -263,7 +386,8 @@ std::string PlacementEngine::PickFromIndex(const PlacementQuery& query) const {
       }
     }
     if (group.empty() && policy_ == PlacementPolicy::kLoadOnly) {
-      return e.host;  // load is the only signal; first eligible wins
+      picked = e.host;  // load is the only signal; first eligible wins
+      break;
     }
     CandidateScore s;
     s.host = e.host;
@@ -272,11 +396,22 @@ std::string PlacementEngine::PickFromIndex(const PlacementQuery& query) const {
     group_load = load;
     group.push_back(std::move(s));
   }
-  const CandidateScore* best = nullptr;
-  for (const CandidateScore& s : group) {  // network order within equal load
-    if (best == nullptr || Beats(s, *best)) best = &s;
+  if (picked.empty()) {
+    const CandidateScore* best = nullptr;
+    for (const CandidateScore& s : group) {  // network order within equal load
+      if (best == nullptr || Beats(s, *best)) best = &s;
+    }
+    if (best != nullptr) picked = best->host;
   }
-  return best != nullptr ? best->host : std::string();
+  // Audit with the full index view, not just the minimal-load group the fast
+  // path touched: load dominates Beats, so re-ranking the complete candidate
+  // list provably picks the same winner, and the record gains the runner-up the
+  // walk never materialised. ScoreFromIndex is survey-free, so the armed log
+  // still books zero messages — recording cannot perturb what it observes.
+  if (DecisionLog* log = net_->decision_log(); log != nullptr && log->enabled()) {
+    RecordDecision(query, /*from_index=*/true, ScoreFromIndex(query), picked);
+  }
+  return picked;
 }
 
 std::vector<std::string> PlacementEngine::PlaceBatch(
@@ -305,6 +440,14 @@ std::vector<std::string> PlacementEngine::PlaceBatch(
     for (const CandidateScore& s : scores) {
       if (s.fault_excluded || s.health_excluded) continue;
       if (best == nullptr || Beats(s, *best)) best = &s;
+    }
+    if (DecisionLog* log = net_->decision_log(); log != nullptr && log->enabled()) {
+      // One record per pid, captured before the lookahead bump below mutates
+      // the working loads the next pid will see.
+      PlacementQuery audit = query;
+      audit.pid = pids[i];
+      RecordDecision(audit, query.index != nullptr, scores,
+                     best != nullptr ? best->host : std::string());
     }
     if (best == nullptr) continue;  // this pid stays unplaced ("")
     targets[i] = best->host;

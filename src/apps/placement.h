@@ -83,6 +83,14 @@ struct PlacementQuery {
   // filter changes decisions, so it is opt-in; empty keeps the historical
   // behaviour (the doomed leg fails fast and the coordinator re-picks).
   std::string reachable_from;
+  // Audit label for the decision log: who is asking ("balancer",
+  // "night-shift", "evacuation", "reaper"). Recorded verbatim; never read by
+  // the pick itself.
+  std::string context;
+  // The reason recorded against `exclude` hosts in the decision log. Every
+  // current excluder is a lease re-pick loop, hence the default; a future
+  // caller excluding for another reason labels it here.
+  std::string exclude_reason = "lease-contended";
 };
 
 // One candidate's signals, in network host order.
@@ -157,6 +165,13 @@ class PlacementEngine {
                    kernel::Kernel& host, CandidateScore* s) const;
   std::vector<CandidateScore> ScoreFromIndex(const PlacementQuery& query) const;
   std::string PickFromIndex(const PlacementQuery& query) const;
+  // Decision-log recording (no-op unless the network carries an armed
+  // apps::DecisionLog). Builds the audit record — candidates, exclusions with
+  // reasons, runner-up, margin factor — from `scores` and free reads only, so
+  // an armed log never perturbs the run it is observing.
+  void RecordDecision(const PlacementQuery& query, bool from_index,
+                      const std::vector<CandidateScore>& scores,
+                      const std::string& chosen) const;
 
   net::Network* net_;
   PlacementPolicy policy_;

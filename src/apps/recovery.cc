@@ -291,6 +291,7 @@ void Revive(ReapContext& ctx, const std::string& host, const std::string& dir,
   query.fault_threshold = ctx.opts.fault_threshold;
   query.health_threshold = ctx.opts.health_threshold;
   query.occupancy = true;
+  query.context = "reaper";
   const size_t max_tries = ctx.net.hosts().size();
   for (size_t i = 0; i < max_tries; ++i) {
     std::string target = engine.PickTarget(query);

@@ -10,19 +10,22 @@
 #include <utility>
 
 #include "src/core/dump_format.h"
+#include "src/sim/hash.h"
 
 namespace pmig::cluster {
 
 Cluster::Cluster(ClusterConfig config)
     : config_(std::move(config)),
       recorder_(&clock_, config_.flight_recorder_capacity),
-      health_monitor_(&clock_, config_.health, config_.slos) {
+      health_monitor_(&clock_, config_.health, config_.slos),
+      decision_log_(&clock_, config_.decision_log_capacity) {
   trace_.set_enabled(config_.enable_trace);
   spans_.set_enabled(config_.enable_spans);
   recorder_.set_enabled(config_.enable_flight_recorder);
   recorder_.set_output_dir(config_.postmortem_dir);
   spans_.set_flight_recorder(&recorder_);
   health_monitor_.set_flight_recorder(&recorder_);
+  decision_log_.set_enabled(config_.enable_decision_log);
   faults_ = std::make_unique<sim::FaultInjector>(config_.faults, &clock_);
   network_ = std::make_unique<net::Network>(&config_.costs);
   Boot();
@@ -42,6 +45,7 @@ void Cluster::Boot() {
     k->set_span_log(&spans_);
     k->set_flight_recorder(&recorder_);
     k->set_health_monitor(&health_monitor_);
+    k->set_decision_log(&decision_log_);
     k->set_fault_injector(faults_.get());
     network_->AddHost(k.get());
     hosts_.push_back(std::move(k));
@@ -49,6 +53,7 @@ void Cluster::Boot() {
   network_->set_fault_injector(faults_.get());
   network_->set_fault_history(&fault_history_);
   network_->set_health_monitor(&health_monitor_);
+  network_->set_decision_log(&decision_log_);
 
   // Cross-machine file access fails when the owning machine is down or a
   // partition separates us from it — both surface as EHOSTUNREACH, exactly
@@ -322,6 +327,41 @@ void Cluster::WriteReport(std::ostream& out) const {
   }
   out << "]}\n";
 
+  // Run header: the fault seed, every armed observability flag, and a
+  // fingerprint of the configuration that produced this run — so a report (or
+  // a replay claiming to reproduce it) can be matched to the exact
+  // configuration it came from. The fingerprint hashes a canonical rendering
+  // of the fields that shape the timeline: host names/ISAs, the cost model's
+  // pacing knobs, the sampler period, and the injection seed.
+  std::string canon;
+  for (const HostSpec& h : config_.hosts) {
+    canon += h.name + ":" + std::to_string(static_cast<int>(h.isa)) + ";";
+  }
+  canon += "quantum=" + std::to_string(config_.costs.quantum) +
+           ";instr=" + std::to_string(config_.costs.instruction) +
+           ";rpc=" + std::to_string(config_.costs.nfs_rpc) +
+           ";netb=" + std::to_string(config_.costs.net_per_byte) +
+           ";sample=" + std::to_string(config_.sample_period) +
+           ";seed=" + std::to_string(config_.faults.seed) +
+           ";faults=" + (config_.faults.enabled ? "1" : "0") +
+           ";daemons=" + (config_.start_migration_daemons ? "1" : "0");
+  const uint64_t fp = sim::HashBytes(
+      reinterpret_cast<const uint8_t*>(canon.data()), canon.size());
+  char fp_hex[24];
+  std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                static_cast<unsigned long long>(fp));
+  const auto flag = [](bool b) { return b ? "true" : "false"; };
+  out << "{\"type\":\"meta\",\"seed\":" << config_.faults.seed
+      << ",\"hosts\":" << hosts_.size() << ",\"config_fingerprint\":\"" << fp_hex
+      << "\",\"armed\":{\"metrics\":" << flag(config_.enable_metrics)
+      << ",\"trace\":" << flag(config_.enable_trace)
+      << ",\"spans\":" << flag(config_.enable_spans)
+      << ",\"flight_recorder\":" << flag(config_.enable_flight_recorder)
+      << ",\"sampler\":" << flag(config_.sample_period > 0)
+      << ",\"health\":" << flag(health_monitor_.enabled())
+      << ",\"decision_log\":" << flag(decision_log_.enabled())
+      << ",\"faults\":" << flag(config_.faults.enabled) << "}}\n";
+
   for (const auto& k : hosts_) {
     WriteMetricsLines(out, k->hostname(), k->metrics());
   }
@@ -417,6 +457,9 @@ void Cluster::WriteReport(std::ostream& out) const {
         << ",\"firing_fast\":" << (b.firing_fast ? "true" : "false")
         << ",\"firing_slow\":" << (b.firing_slow ? "true" : "false") << "}\n";
   }
+
+  // Placement decision audit lines (present only when the log was armed).
+  decision_log_.WriteJsonl(out);
 }
 
 bool Cluster::WriteReport(const std::string& path) const {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/apps/decision_log.h"
 #include "src/kernel/kernel.h"
 #include "src/net/migration_daemon.h"
 #include "src/net/network.h"
@@ -67,6 +68,13 @@ struct ClusterConfig {
   // and results stay bit-identical.
   sim::HealthOptions health;
   std::vector<sim::Slo> slos;
+  // Placement decision audit log (apps::DecisionLog): every PlacementEngine
+  // pick records its full candidate set, per-factor scores, exclusions with
+  // reasons, runner-up, and score margin; surfaced as report "decision" lines
+  // and the msh pwhy built-in. Observation-only like the health monitor: off
+  // it is a dead branch, and armed-but-unread runs stay bit-identical.
+  bool enable_decision_log = false;
+  size_t decision_log_capacity = 1024;  // decisions retained in the ring
   // Deterministic fault injection (inert by default; when disabled no RNG is
   // consumed, no timers are armed, and results stay bit-identical).
   sim::FaultConfig faults;
@@ -103,6 +111,8 @@ class Cluster {
   const sim::FlightRecorder& flight_recorder() const { return recorder_; }
   sim::HealthMonitor& health_monitor() { return health_monitor_; }
   const sim::HealthMonitor& health_monitor() const { return health_monitor_; }
+  apps::DecisionLog& decision_log() { return decision_log_; }
+  const apps::DecisionLog& decision_log() const { return decision_log_; }
   const std::vector<LoadSample>& samples() const { return samples_; }
   const sim::CostModel& costs() const { return config_.costs; }
   kernel::ProgramRegistry& programs() { return programs_; }
@@ -162,6 +172,7 @@ class Cluster {
   sim::SpanLog spans_{&clock_, &trace_};
   sim::FlightRecorder recorder_{&clock_};
   sim::HealthMonitor health_monitor_;
+  apps::DecisionLog decision_log_{&clock_};
   std::vector<LoadSample> samples_;
   sim::Nanos next_sample_at_ = 0;  // next sampler due time (0 = sampler off)
   kernel::ProgramRegistry programs_;

@@ -51,6 +51,9 @@ struct TestbedOptions {
   // Health monitor (armed iff health.anomaly_detection or slos non-empty).
   sim::HealthOptions health;
   std::vector<sim::Slo> slos;
+  // Placement decision audit log (see ClusterConfig::enable_decision_log).
+  bool decision_log = false;
+  size_t decision_log_capacity = 1024;
 };
 
 // Host names follow the paper's examples: brick, schooner, brador, classic.
@@ -96,6 +99,8 @@ class Testbed {
     config.faults = options.faults;
     config.health = options.health;
     config.slos = options.slos;
+    config.enable_decision_log = options.decision_log;
+    config.decision_log_capacity = options.decision_log_capacity;
     cluster_ = std::make_unique<cluster::Cluster>(std::move(config));
     core::InstallMigration(*cluster_);
     for (const auto& host : cluster_->hosts()) {

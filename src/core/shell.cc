@@ -5,9 +5,21 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/apps/decision_log.h"
+
 namespace pmig::core {
 
 namespace {
+
+// One placement summary line: the survey/lease/balancer counters an operator
+// checks when asking "is placement cheap and making progress". Printed even
+// when all-zero — absence would read as "not instrumented", which is wrong.
+std::string PlacementCountersLine(const sim::MetricsRegistry& m) {
+  return "  placement: survey_msgs=" + std::to_string(m.Counter("placement.survey_msgs")) +
+         " lease_wait_ms=" + std::to_string(m.Counter("lease.wait_ns") / 1000000) +
+         " balancer_rounds=" + std::to_string(m.Counter("balancer.rounds")) +
+         " idle_rounds=" + std::to_string(m.Counter("balancer.idle_rounds")) + "\n";
+}
 
 void Say(kernel::SyscallApi& api, const std::string& text) {
   const Result<int64_t> n = api.Write(1, text);
@@ -46,6 +58,7 @@ void PstatBuiltin(kernel::SyscallApi& api) {
              " p99_ns=" + std::to_string(hist.Percentile(99)) +
              " max_ns=" + std::to_string(hist.max) + "\n";
     }
+    out += PlacementCountersLine(m);
   }
   Say(api, out);
 }
@@ -85,8 +98,41 @@ void PtopBuiltin(kernel::SyscallApi& api) {
              " p95_ns=" + std::to_string(hist->Percentile(95)) +
              " p99_ns=" + std::to_string(hist->Percentile(99)) + "\n";
     }
+    out += PlacementCountersLine(m);
   }
   Say(api, out);
+}
+
+// pwhy: why did placement pick (or refuse) what it did? Renders the matching
+// decision record — per-factor candidate table, exclusions with reasons,
+// runner-up and margin. `pwhy` / `pwhy last` shows the newest decision,
+// `pwhy <pid>` the newest decision about that process, `pwhy <host>` the
+// newest decision that involved that host (chosen, runner-up, source,
+// candidate, or excluded — so a fault-demoted host's pwhy names the factor
+// that demoted it).
+void PwhyBuiltin(kernel::SyscallApi& api, const std::vector<std::string>& tokens) {
+  const apps::DecisionLog* log = api.kernel().decision_log();
+  if (log == nullptr || !log->enabled()) {
+    Say(api,
+        "decision log disabled; boot the cluster with enable_decision_log for "
+        "placement audits\n");
+    return;
+  }
+  const std::string arg = tokens.size() > 1 ? tokens[1] : "last";
+  const apps::DecisionRecord* r = nullptr;
+  if (arg == "last") {
+    r = log->Latest();
+  } else if (!arg.empty() &&
+             (std::isdigit(static_cast<unsigned char>(arg[0])) || arg[0] == '-')) {
+    r = log->LatestForPid(std::atoi(arg.c_str()));
+  } else {
+    r = log->LatestForHost(arg);
+  }
+  if (r == nullptr) {
+    Say(api, "pwhy: no decision recorded for '" + arg + "'\n");
+    return;
+  }
+  Say(api, apps::DecisionLog::Render(*r));
 }
 
 // phealth: the cluster health monitor at a glance — SLO error budgets, firing
@@ -275,10 +321,14 @@ int ShellMain(kernel::SyscallApi& api, const std::vector<std::string>& args) {
       PhealthBuiltin(api);
       continue;
     }
+    if (cmd == "pwhy") {
+      PwhyBuiltin(api, tokens);
+      continue;
+    }
     if (cmd == "help") {
       Say(api,
-          "built-ins: cd pwd jobs pstat ptop phealth exit help; commands run from the "
-          "registry or /bin (migrate, preap, ps, ...)\n");
+          "built-ins: cd pwd jobs pstat ptop phealth pwhy exit help; commands run from "
+          "the registry or /bin (migrate, preap, ps, ...)\n");
       continue;
     }
     RunCommand(api, tokens, background, &jobs);

@@ -40,6 +40,10 @@
 #include "src/vfs/vfs.h"
 #include "src/vm/aout.h"
 
+namespace pmig::apps {
+class DecisionLog;  // pointer slot only; apps/ owns the type (see decision_log.h)
+}  // namespace pmig::apps
+
 namespace pmig::kernel {
 
 class Kernel;
@@ -196,6 +200,11 @@ class Kernel {
   // observation-only and never charges cost.
   void set_health_monitor(sim::HealthMonitor* monitor) { health_monitor_ = monitor; }
   sim::HealthMonitor* health_monitor() { return health_monitor_; }
+  // Cluster-owned placement decision log (null or disarmed in default
+  // configs). The shell's pwhy built-in reads it back; the kernel itself never
+  // touches it.
+  void set_decision_log(apps::DecisionLog* log) { decision_log_ = log; }
+  apps::DecisionLog* decision_log() { return decision_log_; }
   // Cluster-owned fault injector (null or disabled in default configs). Also
   // hands it to the VFS so file-I/O syscalls can draw injected errors.
   void set_fault_injector(sim::FaultInjector* faults) {
@@ -395,6 +404,7 @@ class Kernel {
   sim::SpanLog* spans_ = nullptr;
   sim::FlightRecorder* recorder_ = nullptr;
   sim::HealthMonitor* health_monitor_ = nullptr;
+  apps::DecisionLog* decision_log_ = nullptr;
   sim::FaultInjector* faults_ = nullptr;
   MigrationHooks hooks_;
   const ProgramRegistry* programs_ = nullptr;

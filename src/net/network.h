@@ -21,6 +21,10 @@
 #include "src/sim/fault_history.h"
 #include "src/sim/health_monitor.h"
 
+namespace pmig::apps {
+class DecisionLog;  // pointer slot only; apps/ owns the type (see decision_log.h)
+}  // namespace pmig::apps
+
 namespace pmig::net {
 
 class SpawnService;
@@ -97,6 +101,14 @@ class Network {
   void set_health_monitor(sim::HealthMonitor* monitor) { health_monitor_ = monitor; }
   sim::HealthMonitor* health_monitor() const { return health_monitor_; }
 
+  // Cluster-wide placement decision log (null when the network was built bare,
+  // disarmed unless the cluster was configured for it). The placement engine
+  // records every pick here; coordinators attach migrate outcomes and trace
+  // ids after each leg. Observation only — recording never affects virtual
+  // time, so an armed-but-unread log replays bit-identically.
+  void set_decision_log(apps::DecisionLog* log) { decision_log_ = log; }
+  apps::DecisionLog* decision_log() const { return decision_log_; }
+
   // Load-observation fan-out: the cluster sampler publishes each host's load
   // here as it samples, and subscribers (cluster indexes) fold it in for free.
   // Publishing is pure bookkeeping — no virtual time, no RNG — so an armed
@@ -122,6 +134,7 @@ class Network {
   sim::FaultInjector* faults_ = nullptr;
   sim::FaultHistory* fault_history_ = nullptr;
   sim::HealthMonitor* health_monitor_ = nullptr;
+  apps::DecisionLog* decision_log_ = nullptr;
   std::map<uint64_t, std::function<void(const LoadObservation&)>> load_observers_;
   uint64_t next_observer_id_ = 1;
 };
